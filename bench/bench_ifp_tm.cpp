@@ -1,0 +1,107 @@
+// Experiment E18 — Theorem 6.6: Turing machines through BALG²+IFP.
+//
+// The table runs machines both natively and compiled into the algebra and
+// compares verdict/tape/step counts exactly; the benchmarks chart the cost
+// of algebra-hosted computation against input size — each TM step is a
+// full pass of bag operators, so the overhead factor is the price of
+// Turing completeness inside a query language.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/tm/ifp_compiler.h"
+#include "src/tm/machine.h"
+
+using namespace bagalg;
+using namespace bagalg::tm;
+
+namespace {
+
+void PrintAgreementTable() {
+  std::printf("=== E18: native vs algebra-compiled machines ===\n");
+  std::printf("%-18s %-8s %8s %8s %10s %10s  %s\n", "machine", "input",
+              "nat.steps", "alg.steps", "nat.tape", "alg.tape", "verdicts");
+  struct Case {
+    TmSpec spec;
+    std::string input;
+    size_t cells;
+  } cases[] = {
+      {UnaryIncrementMachine(), "1", 3},
+      {UnaryIncrementMachine(), "1111", 6},
+      {EvenOnesMachine(), "11", 4},
+      {EvenOnesMachine(), "11111", 7},
+      {AnBnMachine(), "ab", 4},
+      {AnBnMachine(), "aabb", 6},
+      {AnBnMachine(), "aabbb", 7},
+      {BinaryIncrementMachine(), "1101", 6},
+  };
+  for (const auto& c : cases) {
+    auto native = RunMachine(c.spec, c.input);
+    auto algebra = RunMachineViaAlgebra(c.spec, c.input, c.cells);
+    if (!native.ok() || !algebra.ok()) {
+      std::printf("%-18s %-8s ERROR\n", c.spec.name.c_str(),
+                  c.input.c_str());
+      continue;
+    }
+    std::printf("%-18s %-8s %8llu %8llu %10s %10s  %s/%s %s\n",
+                c.spec.name.c_str(), c.input.c_str(),
+                static_cast<unsigned long long>(native->steps),
+                static_cast<unsigned long long>(algebra->steps),
+                native->final_tape.c_str(), algebra->final_tape.c_str(),
+                native->accepted ? "ACC" : "REJ",
+                algebra->accepted ? "ACC" : "REJ",
+                native->accepted == algebra->accepted &&
+                        native->final_tape == algebra->final_tape &&
+                        native->steps == algebra->steps
+                    ? "EXACT"
+                    : "MISMATCH");
+  }
+  std::printf("\n");
+}
+
+void BM_NativeEvenOnes(benchmark::State& state) {
+  std::string input(static_cast<size_t>(state.range(0)), '1');
+  TmSpec spec = EvenOnesMachine();
+  for (auto _ : state) {
+    auto r = RunMachine(spec, input);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NativeEvenOnes)->DenseRange(2, 10, 2);
+
+void BM_AlgebraEvenOnes(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::string input(n, '1');
+  TmSpec spec = EvenOnesMachine();
+  EvalStats stats;
+  for (auto _ : state) {
+    auto r = RunMachineViaAlgebra(spec, input, n + 2, Limits::Default(),
+                                  &stats);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["operator_applications"] =
+      static_cast<double>(stats.steps);
+}
+BENCHMARK(BM_AlgebraEvenOnes)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+
+void BM_AlgebraAnBn(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::string input = std::string(n, 'a') + std::string(n, 'b');
+  TmSpec spec = AnBnMachine();
+  for (auto _ : state) {
+    auto r = RunMachineViaAlgebra(spec, input, 2 * n + 2);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AlgebraAnBn)->DenseRange(1, 3, 1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAgreementTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Operator microbenchmarks — per-operator throughput of the semantic core
+// (src/core/bag_ops.h) as the input grows. Not tied to a single paper
+// table; establishes the cost model the experiment benches build on
+// (merges are O(distinct), products O(d1·d2), powerset O(output)).
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/bag_ops.h"
+#include "src/stats/sampler.h"
+#include "src/util/rng.h"
+
+using namespace bagalg;
+
+namespace {
+
+Bag MakeInput(size_t elements, uint64_t seed = 123) {
+  Rng rng(seed);
+  FlatBagSpec spec;
+  spec.arity = 2;
+  spec.num_atoms = 64;
+  spec.num_elements = elements;
+  spec.max_mult = 4;
+  return RandomFlatBag(rng, spec);
+}
+
+void BM_AdditiveUnion(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)), 1);
+  Bag b = MakeInput(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto r = AdditiveUnion(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AdditiveUnion)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+void BM_Subtract(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)), 1);
+  Bag b = MakeInput(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto r = Subtract(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Subtract)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+void BM_Intersect(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)), 1);
+  Bag b = MakeInput(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto r = Intersect(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Intersect)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+void BM_CartesianProduct(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)), 1);
+  Bag b = MakeInput(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto r = CartesianProduct(a, b);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CartesianProduct)->RangeMultiplier(4)->Range(16, 512);
+
+void BM_DupElim(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = DupElim(a);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DupElim)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+void BM_MapSwapAttrs(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = MapBag(a, [](const Value& v) -> Result<Value> {
+      return Value::Tuple({v.fields()[1], v.fields()[0]});
+    });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MapSwapAttrs)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+void BM_SelectDiagonal(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = SelectBag(a, [](const Value& v) -> Result<bool> {
+      return v.fields()[0] == v.fields()[1];
+    });
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelectDiagonal)->RangeMultiplier(8)->Range(64, 1 << 15);
+
+void BM_BagDestroy(benchmark::State& state) {
+  Rng rng(7);
+  FlatBagSpec inner;
+  inner.num_elements = 8;
+  Bag nested = RandomNestedBag(rng, static_cast<size_t>(state.range(0)),
+                               inner);
+  for (auto _ : state) {
+    auto r = BagDestroy(nested);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BagDestroy)->RangeMultiplier(4)->Range(8, 2048);
+
+void BM_NestOp(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = Nest(a, {1});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NestOp)->RangeMultiplier(8)->Range(64, 1 << 13);
+
+}  // namespace
+
+BENCHMARK_MAIN();

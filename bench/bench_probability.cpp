@@ -1,0 +1,56 @@
+// Experiment E7 — asymptotic probabilities (paper §4, Example 4.2).
+//
+// Paper claims: boolean constant-free RALG queries obey a 0–1 law; the
+// BALG¹ query |R| > |S| has asymptotic probability exactly 1/2 ([FGT93]
+// proves the possible limits for such counting sentences are 0, 1/2, 1).
+// The table charts empirical μ_n for three queries as n grows; the
+// benchmarks measure estimation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/stats/probability.h"
+#include "src/util/rng.h"
+
+using namespace bagalg;
+
+namespace {
+
+void PrintConvergenceTable() {
+  std::printf("=== E7: empirical mu_n vs the paper's limits ===\n");
+  std::printf("%6s  %14s  %14s  %14s\n", "n", "mu(|R|>|S|)", "mu(|R|=|S|)",
+              "mu(R nonempty)");
+  std::printf("%6s  %14s  %14s  %14s\n", "limit", "1/2", "0", "1");
+  Rng rng(2026);
+  const size_t trials = 2000;
+  for (size_t n : {2, 4, 8, 16, 32, 64, 128}) {
+    auto greater = ProbCardGreater(n, trials, rng);
+    auto equal = ProbCardEqual(n, trials, rng);
+    auto nonempty = ProbNonemptyMonadic(n, trials, rng);
+    if (!greater.ok() || !equal.ok() || !nonempty.ok()) return;
+    std::printf("%6zu  %14.3f  %14.3f  %14.3f\n", n, greater->probability,
+                equal->probability, nonempty->probability);
+  }
+  std::printf("\n");
+}
+
+void BM_EstimateCardGreater(benchmark::State& state) {
+  Rng rng(3);
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = ProbCardGreater(n, 50, rng);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_EstimateCardGreater)->RangeMultiplier(4)->Range(4, 256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintConvergenceTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

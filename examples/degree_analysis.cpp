@@ -1,0 +1,85 @@
+// Degree analysis on a web-link graph — the paper's Example 4.1 in action.
+//
+//   $ ./build/examples/degree_analysis [num_pages] [seed]
+//
+// The query "in-degree(p) > out-degree(p)" is expressible in BALG¹ but not
+// in the relational algebra (not even in infinitary logic, §4): the bags
+// count for free. This example runs it per node over a random link graph
+// and ranks "authority" pages, then shows the Theorem 5.2 variant on
+// set-valued nodes (the Fig 1 star graphs).
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "src/algebra/derived.h"
+#include "src/algebra/eval.h"
+#include "src/games/structures.h"
+#include "src/stats/sampler.h"
+#include "src/util/rng.h"
+
+using namespace bagalg;
+
+int main(int argc, char** argv) {
+  size_t num_pages = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  Rng rng(seed);
+  Bag links = RandomGraph(rng, num_pages, 0.35);
+  Database db;
+  if (Status st = db.Put("Links", links); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  std::cout << "link graph over " << num_pages << " pages, "
+            << links.TotalCount() << " links\n\n";
+
+  Evaluator eval;
+  std::cout << "pages whose in-degree exceeds their out-degree "
+               "(Example 4.1, one BALG¹ query per page):\n";
+  for (size_t i = 0; i < num_pages; ++i) {
+    Value page = MakeAtom("v" + std::to_string(i));
+    Expr q = InDegreeGreaterThanOut(Input("Links"), page);
+    auto r = eval.EvalToBag(q, db);
+    if (!r.ok()) {
+      std::cerr << r.status() << "\n";
+      return 1;
+    }
+    if (!r->empty()) {
+      // The result's multiplicity is exactly the degree surplus.
+      std::cout << "  v" << i << "  surplus in-links: " << r->TotalCount()
+                << "\n";
+    }
+  }
+
+  // Reachability via the inflationary fixpoint (§6): which pages can reach
+  // page v0?
+  Expr tc = TransitiveClosure(Input("Links"));
+  Expr reach_v0 = Select(Proj(Var(0), 2), ConstExpr(MakeAtom("v0")), tc);
+  auto reach = eval.EvalToBag(reach_v0, db);
+  if (reach.ok()) {
+    std::cout << "\npages that can reach v0 (transitive closure via IFP): "
+              << reach->DistinctCount() << "\n";
+  }
+
+  // Theorem 5.2's nested variant: nodes that are *sets* of constants.
+  auto star = games::BuildFig1StarGraphs(6);
+  if (!star.ok()) {
+    std::cerr << star.status() << "\n";
+    return 1;
+  }
+  Database db_g, db_gp;
+  (void)db_g.Put("G", games::EdgesAsBag(star->g));
+  (void)db_gp.Put("G", games::EdgesAsBag(star->g_prime));
+  Expr phi = InDegreeGreaterThanOut(Input("G"), star->alpha);
+  auto on_g = eval.EvalToBag(phi, db_g);
+  auto on_gp = eval.EvalToBag(phi, db_gp);
+  std::cout << "\nFig 1 star graphs (n = 6, nodes are sets):\n"
+            << "  Φ on balanced G:  "
+            << (on_g.ok() && on_g->empty() ? "false" : "true") << "\n"
+            << "  Φ on inverted G': "
+            << (on_gp.ok() && !on_gp->empty() ? "true" : "false") << "\n"
+            << "Φ is BALG² — no RALG² query separates these graphs "
+               "(Theorem 5.2; see bench_game for the pebble-game witness)\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Asymptotic probabilities: where the 0–1 law breaks (paper §4, Ex. 4.2).
+//
+//   $ ./build/examples/probabilities [trials] [seed]
+//
+// Constant-free relational-algebra queries have asymptotic probability 0 or
+// 1; the BALG¹ cardinality comparison |R| > |S| converges to 1/2 instead
+// ([FGT93]). This example estimates all three probabilities on growing
+// random monadic databases by evaluating the actual algebra expressions.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/stats/probability.h"
+#include "src/util/rng.h"
+
+using namespace bagalg;
+
+int main(int argc, char** argv) {
+  size_t trials = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  Rng rng(seed);
+
+  std::printf("%6s  %14s  %14s  %14s\n", "n", "mu(|R|>|S|)", "mu(|R|=|S|)",
+              "mu(R nonempty)");
+  std::printf("%6s  %14s  %14s  %14s\n", "", "limit: 1/2", "limit: 0",
+              "limit: 1");
+  for (size_t n : {2, 4, 8, 16, 32, 64}) {
+    auto greater = ProbCardGreater(n, trials, rng);
+    auto equal = ProbCardEqual(n, trials, rng);
+    auto nonempty = ProbNonemptyMonadic(n, trials, rng);
+    if (!greater.ok() || !equal.ok() || !nonempty.ok()) {
+      std::fprintf(stderr, "estimation failed\n");
+      return 1;
+    }
+    std::printf("%6zu  %14.3f  %14.3f  %14.3f\n", n, greater->probability,
+                equal->probability, nonempty->probability);
+  }
+  std::printf(
+      "\nBALG¹'s counting power is exactly what breaks the 0-1 law: the\n"
+      "middle column vanishes, the left column settles at 1/2, and the\n"
+      "FO-style query on the right obeys the law (limit 1).\n");
+  return 0;
+}

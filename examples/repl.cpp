@@ -1,0 +1,59 @@
+// Interactive REPL / script runner for the bagalg surface syntax.
+//
+//   $ ./build/examples/repl                 # interactive
+//   $ ./build/examples/repl script.bag      # run a script file
+//   $ echo "eval uplus('{{a}}, '{{a}})" | ./build/examples/repl
+//
+// Commands: let NAME = VALUE | schema NAME : TYPE | eval EXPR | count EXPR
+//           type EXPR | analyze EXPR | optimize EXPR | stats | reset
+// See src/lang/script.h for the full description.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/lang/script.h"
+
+using namespace bagalg;
+
+int main(int argc, char** argv) {
+  lang::ScriptRunner runner;
+
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    auto result = runner.RunScript(text.str());
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    std::cout << *result;
+    return 0;
+  }
+
+  bool interactive = true;
+  if (interactive) {
+    std::cout << "bagalg — a nested bag algebra (Grumbach & Milo, PODS'93)\n"
+              << "commands: let, schema, eval, count, type, analyze, "
+                 "optimize, stats, reset. Ctrl-D exits.\n";
+  }
+  std::string line;
+  while (true) {
+    std::cout << "bagalg> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    auto result = runner.RunLine(line);
+    if (!result.ok()) {
+      std::cout << "error: " << result.status() << "\n";
+      continue;
+    }
+    if (!result->empty()) std::cout << *result << "\n";
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+#ifndef BAGALG_ALGEBRA_BUILDER_H_
+#define BAGALG_ALGEBRA_BUILDER_H_
+
+/// \file builder.h
+/// Fluent construction API for BALG expressions.
+///
+/// Free functions named after the paper's operators build shared AST nodes:
+///
+///   auto q = Proj(Select(Proj(Var(0), 2), Proj(Var(0), 3),
+///                        Product(Input("B"), Input("B"))),
+///                 {1, 4});
+///
+/// Lambda-binding positions (Map/Select bodies, fixpoint bodies) take an
+/// expression over `Var(0)` (de Bruijn index of the innermost binder).
+
+#include <initializer_list>
+#include <vector>
+
+#include "src/algebra/expr.h"
+
+namespace bagalg {
+
+/// Reference to the named database bag.
+Expr Input(std::string name);
+/// Literal complex object.
+Expr ConstExpr(Value literal);
+/// Literal bag.
+Expr ConstBag(Bag bag);
+/// Lambda-bound variable; depth 0 is the innermost binder.
+Expr Var(size_t depth = 0);
+
+/// B ⊎ B' — additive union.
+Expr Uplus(Expr a, Expr b);
+/// B − B' — monus subtraction.
+Expr Monus(Expr a, Expr b);
+/// B ∪ B' — maximal union.
+Expr Umax(Expr a, Expr b);
+/// B ∩ B' — intersection.
+Expr Inter(Expr a, Expr b);
+/// B × B' — Cartesian product.
+Expr Product(Expr a, Expr b);
+
+/// τ(o1,...,ok) — tupling.
+Expr Tup(std::vector<Expr> fields);
+Expr Tup(std::initializer_list<Expr> fields);
+/// β(o) — bagging (singleton bag).
+Expr Beta(Expr e);
+/// α_i(o) — attribute projection, 1-based as in the paper.
+Expr Proj(Expr e, size_t attr);
+
+/// P(B) — powerset.
+Expr Pow(Expr e);
+/// P_b(B) — powerbag.
+Expr Powbag(Expr e);
+/// δ(B) — bag-destroy (flatten one level).
+Expr Destroy(Expr e);
+/// ε(B) — duplicate elimination.
+Expr Eps(Expr e);
+
+/// MAP φ (B), with φ given as a body over Var(0).
+Expr Map(Expr body, Expr source);
+/// σ_{φ=φ'}(B), with φ, φ' given as bodies over Var(0).
+Expr Select(Expr lhs, Expr rhs, Expr source);
+
+/// π_{a1,...,an}(B) — the paper's tuple projection, defined as
+/// MAP λx.[α_{a1}(x),...,α_{an}(x)]. Attributes 1-based.
+Expr ProjectAttrs(Expr source, std::initializer_list<size_t> attrs);
+Expr ProjectAttrs(Expr source, const std::vector<size_t>& attrs);
+
+/// nest / unnest extensions (§7). Attributes 1-based.
+Expr NestExpr(Expr source, std::vector<size_t> nested_attrs);
+Expr UnnestExpr(Expr source, size_t attr);
+
+/// Inflationary fixpoint of T(X) = body(X) ∪ X starting from seed
+/// (Theorem 6.6). body is over Var(0) = the current iterate.
+Expr Ifp(Expr body, Expr seed);
+/// Bounded inflationary fixpoint: T(X) = (body(X) ∪ X) ∩ bound.
+Expr BoundedIfp(Expr body, Expr seed, Expr bound);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_ALGEBRA_BUILDER_H_

@@ -1,0 +1,49 @@
+#include "src/algebra/database.h"
+
+namespace bagalg {
+
+Status Database::Put(const std::string& name, Bag bag) {
+  auto it = schema_.find(name);
+  if (it != schema_.end()) {
+    if (!it->second.Accepts(bag.type())) {
+      return Status::InvalidArgument(
+          "bag of type " + bag.type().ToString() + " does not conform to " +
+          name + "'s declared type " + it->second.ToString());
+    }
+  } else {
+    schema_[name] = bag.type();
+  }
+  instances_[name] = std::move(bag);
+  return Status::Ok();
+}
+
+Status Database::Declare(const std::string& name, Type type) {
+  if (!type.IsBag()) {
+    return Status::InvalidArgument("schema entry " + name +
+                                   " must have a bag type, got " +
+                                   type.ToString());
+  }
+  schema_[name] = type;
+  if (instances_.find(name) == instances_.end()) {
+    instances_[name] = Bag(type.element());
+  }
+  return Status::Ok();
+}
+
+Result<Bag> Database::Get(const std::string& name) const {
+  auto it = instances_.find(name);
+  if (it == instances_.end()) {
+    return Status::NotFound("no input bag named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<Type> Database::TypeOfInput(const std::string& name) const {
+  auto it = schema_.find(name);
+  if (it == schema_.end()) {
+    return Status::NotFound("no schema entry named '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace bagalg

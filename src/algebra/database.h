@@ -1,0 +1,56 @@
+#ifndef BAGALG_ALGEBRA_DATABASE_H_
+#define BAGALG_ALGEBRA_DATABASE_H_
+
+/// \file database.h
+/// Bag databases: named bags with a schema (paper §2).
+///
+/// A bag schema associates bag names with bag types; an instance maps each
+/// name to a bag of that type. Queries evaluate expressions against an
+/// instance.
+
+#include <map>
+#include <string>
+
+#include "src/core/type.h"
+#include "src/core/value.h"
+#include "src/util/result.h"
+
+namespace bagalg {
+
+/// Bag name -> bag type. All types must be bag types.
+using Schema = std::map<std::string, Type>;
+
+/// A database instance: named bags conforming to a schema.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds (or replaces) a bag under `name`; the schema entry is the bag's
+  /// own type. InvalidArgument if a declared schema type does not accept
+  /// the bag's type.
+  Status Put(const std::string& name, Bag bag);
+
+  /// Declares a schema entry without an instance (instance defaults to the
+  /// empty bag of that type). InvalidArgument unless `type` is a bag type.
+  Status Declare(const std::string& name, Type type);
+
+  /// The bag stored under `name`; NotFound if absent.
+  Result<Bag> Get(const std::string& name) const;
+
+  /// The declared type of `name`; NotFound if absent.
+  Result<Type> TypeOfInput(const std::string& name) const;
+
+  /// The full schema (for the type checker).
+  const Schema& schema() const { return schema_; }
+
+  /// All instances, for iteration in tests and samplers.
+  const std::map<std::string, Bag>& instances() const { return instances_; }
+
+ private:
+  Schema schema_;
+  std::map<std::string, Bag> instances_;
+};
+
+}  // namespace bagalg
+
+#endif  // BAGALG_ALGEBRA_DATABASE_H_

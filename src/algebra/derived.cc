@@ -1,0 +1,203 @@
+#include "src/algebra/derived.h"
+
+#include <cassert>
+
+namespace bagalg {
+
+Expr ShiftVars(const Expr& expr, size_t cutoff, size_t delta) {
+  const ExprNode& n = expr.node();
+  if (n.kind == ExprKind::kVar) {
+    if (n.index >= cutoff) return Var(n.index + delta);
+    return expr;
+  }
+  if (n.children.empty()) return expr;
+  ExprNode out = n;
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    size_t child_cutoff =
+        cutoff + static_cast<size_t>(BindersIntroduced(n.kind, i));
+    out.children[i] = ShiftVars(n.children[i], child_cutoff, delta);
+  }
+  return Expr(std::make_shared<const ExprNode>(std::move(out)));
+}
+
+// ----------------------------------------------------------------- integers
+
+Bag IntAsBag(uint64_t n, const Value& unit) {
+  return NCopies(Mult(n), Value::Tuple({unit}));
+}
+
+Expr IntConst(uint64_t n, const Value& unit) {
+  return ConstBag(IntAsBag(n, unit));
+}
+
+Expr CardAsInt(Expr e, const Value& unit) {
+  // MAP λx.[unit] (e): |e| occurrences of the tuple [unit].
+  return Map(Tup({ConstExpr(unit)}), std::move(e));
+}
+
+// --------------------------------------------------------------- aggregates
+
+Expr CountAgg(Expr b, const Value& unit) {
+  return CardAsInt(std::move(b), unit);
+}
+
+Expr SumAgg(Expr b) { return Destroy(std::move(b)); }
+
+Expr AverageAgg(Expr b, const Value& unit) {
+  Expr sum = SumAgg(b);
+  Expr count = CountAgg(b, unit);
+  // σ_{λx. |x × count(B)| = |sum(B)|}(P(sum(B))): the subbags of the sum
+  // whose cardinality times the element count equals the sum. There is one
+  // such cardinality (the average) but possibly many subbags of it, so the
+  // solutions are normalized to integer bags, deduplicated, and unwrapped.
+  Expr lhs = CardAsInt(Product(Var(0), ShiftVars(count, 0, 1)), unit);
+  Expr rhs = CardAsInt(ShiftVars(sum, 0, 1), unit);
+  Expr solutions = Select(std::move(lhs), std::move(rhs), Pow(sum));
+  Expr normalized = Map(CardAsInt(Var(0), unit), std::move(solutions));
+  return Destroy(Eps(std::move(normalized)));
+}
+
+// ---------------------------------------------------- boolean-style queries
+
+Expr BoolTest(Expr lhs, Expr rhs, const Value& unit) {
+  Bag witness = MakeBagOf({Value::Tuple({unit})});
+  return Select(ShiftVars(lhs, 0, 1), ShiftVars(rhs, 0, 1),
+                ConstBag(std::move(witness)));
+}
+
+std::pair<Expr, Expr> MemberTestPair(Expr elem, Expr bag) {
+  Expr lhs = Inter(Beta(elem), Eps(std::move(bag)));
+  Expr rhs = Beta(std::move(elem));
+  return {std::move(lhs), std::move(rhs)};
+}
+
+std::pair<Expr, Expr> SubbagTestPair(Expr sub, Expr super) {
+  Expr lhs = Inter(sub, std::move(super));
+  return {std::move(lhs), std::move(sub)};
+}
+
+// ------------------------------------------------- §4 counting comparisons
+
+Expr CardGreater(Expr r, Expr s) {
+  Expr rr = ProjectAttrs(Product(r, r), {1});
+  Expr rs = ProjectAttrs(Product(std::move(r), std::move(s)), {1});
+  return Monus(std::move(rr), std::move(rs));
+}
+
+Expr CardEqual(Expr r, Expr s, const Value& unit) {
+  return BoolTest(CardAsInt(std::move(r), unit),
+                  CardAsInt(std::move(s), unit), unit);
+}
+
+Expr AtLeastDistinct(Expr r, uint64_t i, const Value& unit) {
+  if (i == 0) return IntConst(1, unit);  // vacuously true, one witness
+  return Monus(CardAsInt(Eps(std::move(r)), unit), IntConst(i - 1, unit));
+}
+
+Expr AtLeastTotal(Expr r, uint64_t i, const Value& unit) {
+  if (i == 0) return IntConst(1, unit);
+  return Monus(CardAsInt(std::move(r), unit), IntConst(i - 1, unit));
+}
+
+Expr InDegreeGreaterThanOut(Expr g, const Value& node) {
+  // π2(σ_{2=node}(G)) − π1(σ_{1=node}(G)): both sides normalize to copies
+  // of [node], counted by in- and out-degree respectively (Example 4.1).
+  Expr in_side = ProjectAttrs(
+      Select(Proj(Var(0), 2), ConstExpr(node), g), {2});
+  Expr out_side = ProjectAttrs(
+      Select(Proj(Var(0), 1), ConstExpr(node), std::move(g)), {1});
+  return Monus(std::move(in_side), std::move(out_side));
+}
+
+Expr EvenCardinalityWithOrder(Expr r, Expr leq, const Value& unit) {
+  // §4: σ_{λx. |σ_{λy. y ≤ x}(R)| = |σ_{λy. x < y}(R)|}(R) ≠ ∅.
+  // Inside the outer binder x (depth 1 within the inner σ bodies):
+  Expr r_in_x = ShiftVars(r, 0, 1);        // R under binder x
+  Expr leq_in_xy = ShiftVars(leq, 0, 2);   // Leq under binders x, y
+  // The pair [y.1, x.1] as seen inside the inner σ (y = Var(0), x = Var(1)).
+  Expr pair = Tup({Proj(Var(0), 1), Proj(Var(1), 1)});
+  // y ≤ x : [y.1, x.1] ∈ Leq.
+  auto [le_lhs, le_rhs] = MemberTestPair(pair, leq_in_xy);
+  Expr below_or_eq = Select(std::move(le_lhs), std::move(le_rhs), r_in_x);
+  // x < y : [y.1, x.1] ∉ Leq (total order). Emptiness test via β(t)∩ε(Leq)
+  // compared with the empty bag β(t) − β(t).
+  Expr not_le_lhs = Inter(Beta(pair), Eps(ShiftVars(leq, 0, 2)));
+  Expr not_le_rhs = Monus(Beta(pair), Beta(pair));
+  Expr above = Select(std::move(not_le_lhs), std::move(not_le_rhs), r_in_x);
+  Expr lhs = CardAsInt(std::move(below_or_eq), unit);
+  Expr rhs = CardAsInt(std::move(above), unit);
+  return Select(std::move(lhs), std::move(rhs), std::move(r));
+}
+
+// ------------------------------------------ §3 operator interdefinability
+
+Expr UplusViaMaxUnion(Expr b1, Expr b2, size_t arity, const Value& tag_a,
+                      const Value& tag_b) {
+  assert(!(tag_a == tag_b) && "tags must be distinct constants");
+  Expr tagged1 = Product(std::move(b1), ConstBag(MakeBagOf({
+                                            Value::Tuple({tag_a})})));
+  Expr tagged2 = Product(std::move(b2), ConstBag(MakeBagOf({
+                                            Value::Tuple({tag_b})})));
+  std::vector<size_t> attrs;
+  for (size_t i = 1; i <= arity; ++i) attrs.push_back(i);
+  return ProjectAttrs(Umax(std::move(tagged1), std::move(tagged2)), attrs);
+}
+
+Expr MonusViaPowerset(Expr b1, Expr b2) {
+  // δ(σ_{λx. x ⊎ (B1 ∩ B2) = B1}(P(B1))) (§3).
+  Expr b1_in = ShiftVars(b1, 0, 1);
+  Expr b2_in = ShiftVars(std::move(b2), 0, 1);
+  Expr lhs = Uplus(Var(0), Inter(b1_in, std::move(b2_in)));
+  Expr rhs = ShiftVars(b1, 0, 1);
+  return Destroy(Select(std::move(lhs), std::move(rhs), Pow(std::move(b1))));
+}
+
+Expr EpsViaPowerset(Expr b) {
+  // δ(P(B) ∩ MAP β (B)) (Proposition 3.1).
+  Expr power = Pow(b);  // copy b before the second use below
+  return Destroy(Inter(std::move(power), Map(Beta(Var(0)), std::move(b))));
+}
+
+Expr EpsViaPowersetNested(Expr b) {
+  // P(δ(B)) ∩ B (Proposition 3.1, nested variant).
+  Expr power = Pow(Destroy(b));
+  return Inter(std::move(power), std::move(b));
+}
+
+// ------------------------------------------------------------ §6 fixpoints
+
+namespace {
+
+/// π_{1,4}(σ_{2=3}(X × G)) — one relational composition step, with X the
+/// fixpoint iterate Var(0) and `g` spliced under that binder.
+Expr ComposeStep(const Expr& g) {
+  Expr prod = Product(Var(0), ShiftVars(g, 0, 1));
+  Expr sel = Select(Proj(Var(0), 2), Proj(Var(0), 3), std::move(prod));
+  return ProjectAttrs(std::move(sel), {1, 4});
+}
+
+}  // namespace
+
+Expr TransitiveClosure(Expr g) {
+  // Deduplicate each composition round so multiplicities cannot diverge
+  // under the inflationary iteration (bag products multiply counts).
+  Expr body = Umax(Var(0), Eps(ComposeStep(g)));
+  return Ifp(std::move(body), Eps(std::move(g)));
+}
+
+Expr TransitiveClosureBounded(Expr g) {
+  Expr body = Umax(Var(0), ComposeStep(g));
+  // Bound: the deduplicated pairs over mentioned nodes caps every iterate's
+  // multiplicities at 1 — the bounded-fixpoint discipline of [Suc93].
+  Expr nodes = Uplus(ProjectAttrs(g, {1}), ProjectAttrs(g, {2}));
+  Expr bound = Eps(Product(nodes, nodes));
+  return BoundedIfp(std::move(body), g, std::move(bound));
+}
+
+// ------------------------------------------------------------ decoding aids
+
+Result<uint64_t> DecodeIntBag(const Bag& bag) {
+  return bag.TotalCount().ToUint64();
+}
+
+}  // namespace bagalg

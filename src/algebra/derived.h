@@ -1,0 +1,144 @@
+#ifndef BAGALG_ALGEBRA_DERIVED_H_
+#define BAGALG_ALGEBRA_DERIVED_H_
+
+/// \file derived.h
+/// The paper's derived operations and example queries as expression
+/// combinators.
+///
+/// Everything here is *defined inside the algebra* — each function returns a
+/// BALG expression built from the primitive operators, reproducing the
+/// constructions of §3 (aggregates, operator interdefinability), §4
+/// (cardinality comparisons, counting quantifiers, parity with order) and §6
+/// (transitive closure with fixpoints). Property tests check each derived
+/// form against its direct semantic counterpart.
+///
+/// Integer convention: the integer n is the bag containing n occurrences of
+/// the unary tuple [unit] for a designated atom `unit` (the paper's bag of
+/// n occurrences of a). Combinators taking `unit` follow this convention.
+///
+/// Unless noted otherwise, expression arguments may contain free lambda
+/// variables; combinators shift indices as needed when wrapping arguments
+/// under binders.
+
+#include <utility>
+
+#include "src/algebra/builder.h"
+#include "src/algebra/expr.h"
+#include "src/core/value.h"
+#include "src/util/result.h"
+
+namespace bagalg {
+
+/// Adds `delta` to every variable of depth >= `cutoff` (free variables when
+/// cutoff is the number of enclosing binders). Used when splicing an
+/// expression under additional binders.
+Expr ShiftVars(const Expr& expr, size_t cutoff, size_t delta);
+
+// ---------------------------------------------------------------- integers
+
+/// The value-level bag encoding of integer n: n copies of [unit].
+Bag IntAsBag(uint64_t n, const Value& unit);
+
+/// The same as a constant expression.
+Expr IntConst(uint64_t n, const Value& unit);
+
+/// N(e) of the paper's proofs: the bag of |e| occurrences of the tuple
+/// [unit], i.e. the cardinality of e re-encoded as an integer bag. Defined
+/// as MAP λx.[unit] (e) (equivalent to the paper's π1({{[unit]}} × e) and
+/// applicable to any element type).
+Expr CardAsInt(Expr e, const Value& unit);
+
+// --------------------------------------------------------------- aggregates
+
+/// count(B) (§3): the integer bag of B's total cardinality.
+Expr CountAgg(Expr b, const Value& unit);
+
+/// sum(B) for a bag of integer bags: δ(B).
+Expr SumAgg(Expr b);
+
+/// average(B) for a bag of integer bags (the paper's waverage, §3): selects
+/// from P(sum(B)) the subbags x with |x| · count(B) = |sum(B)|, normalizes
+/// them to integer bags, deduplicates and unwraps. Empty when the average is
+/// not a whole number (exact-division semantics).
+Expr AverageAgg(Expr b, const Value& unit);
+
+// ---------------------------------------------------- boolean-style queries
+
+/// A query that evaluates to {{[unit]}} iff lhs == rhs (both closed w.r.t.
+/// the introduced binder), and to the empty bag otherwise.
+Expr BoolTest(Expr lhs, Expr rhs, const Value& unit);
+
+/// σ-predicate pair testing membership: elem ∈ bag (at least one
+/// occurrence). Usable as (lhs, rhs) of Select.
+std::pair<Expr, Expr> MemberTestPair(Expr elem, Expr bag);
+
+/// σ-predicate pair testing sub ⊑ super (subbag containment).
+std::pair<Expr, Expr> SubbagTestPair(Expr sub, Expr super);
+
+// ------------------------------------------------- §4 counting comparisons
+
+/// Example 4.2: π1(R×R) − π1(R×S); nonempty iff |R| > |S| (R, S bags of
+/// unary tuples). This is the Rescher quantifier.
+Expr CardGreater(Expr r, Expr s);
+
+/// Härtig quantifier: {{[unit]}} iff |R| = |S|.
+Expr CardEqual(Expr r, Expr s, const Value& unit);
+
+/// Counting quantifier ∃≥i: nonempty iff R has at least `i` distinct
+/// elements.
+Expr AtLeastDistinct(Expr r, uint64_t i, const Value& unit);
+
+/// Counting quantifier on occurrences: nonempty iff R's total cardinality
+/// (duplicates included) is at least `i` — the paper's ∃≥i under bag
+/// semantics.
+Expr AtLeastTotal(Expr r, uint64_t i, const Value& unit);
+
+/// Example 4.1: π2(σ_{2=node}(G)) − π1(σ_{1=node}(G)) over a binary edge
+/// bag G; nonempty iff in-degree(node) > out-degree(node).
+Expr InDegreeGreaterThanOut(Expr g, const Value& node);
+
+/// §4 parity: nonempty iff |R| is even and positive, given a reflexive
+/// total order Leq ⊆ [U,U] on the domain (as a database bag of pairs
+/// [u, v] with u ≤ v). R is a set-like bag of unary tuples.
+Expr EvenCardinalityWithOrder(Expr r, Expr leq, const Value& unit);
+
+// -------------------------------------- §3 operator interdefinability
+
+/// ⊎ from ∪/×/π (§3): π_{1..arity}((B1 × {{[tag_a]}}) ∪ (B2 × {{[tag_b]}})).
+/// Requires tag_a != tag_b and both operands bags of `arity`-tuples.
+Expr UplusViaMaxUnion(Expr b1, Expr b2, size_t arity, const Value& tag_a,
+                      const Value& tag_b);
+
+/// − from P (§3): δ(σ_{λx. x ⊎ (B1 ∩ B2) = B1}(P(B1))). Note the bag
+/// nesting of the intermediate type exceeds the input's — the paper proves
+/// (Prop 4.1) this increase is unavoidable.
+Expr MonusViaPowerset(Expr b1, Expr b2);
+
+/// ε from P, flat variant (Prop 3.1): δ(P(B) ∩ MAP β (B)). Works for any
+/// element type; increases nesting by one.
+Expr EpsViaPowerset(Expr b);
+
+/// ε from P, nested variant (Prop 3.1): P(δ(B)) ∩ B for bags of bags; does
+/// not increase the nesting.
+Expr EpsViaPowersetNested(Expr b);
+
+// ---------------------------------------------------------- §6 fixpoints
+
+/// Transitive closure of a binary edge bag via the inflationary fixpoint
+/// (§6): ifp(X → X ∪ π_{1,4}(σ_{2=3}(X × G)), G). Output is set-like.
+Expr TransitiveClosure(Expr g);
+
+/// The same via the *bounded* fixpoint [Suc93], bounding iterates by the
+/// deduplicated pairs of mentioned nodes — the form that keeps BALG¹
+/// tractable (§6 end).
+Expr TransitiveClosureBounded(Expr g);
+
+// ----------------------------------------------------------- decoding aids
+
+/// Interprets a bag as an integer (its total cardinality); error if the
+/// cardinality exceeds uint64.
+Result<uint64_t> DecodeIntBag(const Bag& bag);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_ALGEBRA_DERIVED_H_

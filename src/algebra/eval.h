@@ -1,0 +1,87 @@
+#ifndef BAGALG_ALGEBRA_EVAL_H_
+#define BAGALG_ALGEBRA_EVAL_H_
+
+/// \file eval.h
+/// The BALG evaluator.
+///
+/// A tree-walking interpreter over canonical bags, dispatching every
+/// operator to src/core/bag_ops.h and enforcing a Limits budget. The
+/// evaluator is *instrumented*: it records operator applications, the
+/// largest intermediate bag (distinct elements, multiplicity bit-length, and
+/// optionally the paper's standard-encoding size), and fixpoint iteration
+/// counts. The complexity experiments (Theorem 4.4's LOGSPACE proxy,
+/// Theorem 5.1's PSPACE proxy, Proposition 3.2's explosion measurements)
+/// read these statistics rather than wall-clock alone.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/algebra/database.h"
+#include "src/algebra/expr.h"
+#include "src/core/bag_ops.h"
+#include "src/core/limits.h"
+#include "src/util/bignat.h"
+#include "src/util/result.h"
+
+namespace bagalg {
+
+/// Counters collected during one (or more) evaluations.
+struct EvalStats {
+  /// Total operator applications (AST node visits, fixpoint bodies counted
+  /// once per iteration).
+  uint64_t steps = 0;
+  /// Applications per operator kind.
+  std::array<uint64_t, 32> op_counts{};
+  /// Largest number of distinct elements in any intermediate bag.
+  uint64_t max_distinct = 0;
+  /// Largest multiplicity bit-length seen in any intermediate bag.
+  uint64_t max_mult_bits = 0;
+  /// Largest standard-encoding size of an intermediate bag (only tracked
+  /// when Evaluator::set_track_sizes(true); expensive).
+  BigNat max_standard_size;
+  /// Largest counted-representation size of an intermediate bag (same gate).
+  uint64_t max_counted_size = 0;
+  /// Total fixpoint iterations across all IFP nodes.
+  uint64_t fixpoint_iterations = 0;
+
+  uint64_t CountOf(ExprKind kind) const {
+    return op_counts[static_cast<size_t>(kind)];
+  }
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+/// Evaluates expressions against a database under a resource budget.
+class Evaluator {
+ public:
+  explicit Evaluator(Limits limits = Limits::Default())
+      : limits_(limits) {}
+
+  /// Enables tracking of intermediate standard-encoding sizes (quadratic
+  /// overhead in the worst case; off by default).
+  void set_track_sizes(bool on) { track_sizes_ = on; }
+
+  /// Evaluates `expr` (which may denote any object) against `db`.
+  Result<Value> Eval(const Expr& expr, const Database& db);
+
+  /// Evaluates and requires a bag-denoting result (the common query case).
+  Result<Bag> EvalToBag(const Expr& expr, const Database& db);
+
+  /// Statistics accumulated since construction / last ResetStats.
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EvalStats{}; }
+
+  const Limits& limits() const { return limits_; }
+
+ private:
+  friend class EvalFrame;
+  Limits limits_;
+  bool track_sizes_ = false;
+  EvalStats stats_;
+};
+
+}  // namespace bagalg
+
+#endif  // BAGALG_ALGEBRA_EVAL_H_

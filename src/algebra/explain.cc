@@ -1,0 +1,83 @@
+#include "src/algebra/explain.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/algebra/typecheck.h"
+
+namespace bagalg {
+
+namespace {
+
+void Render(const Expr& e,
+            const std::map<const ExprNode*, Type>& types, int indent,
+            size_t binder_depth, std::ostringstream& os) {
+  const ExprNode& n = e.node();
+  os << std::string(static_cast<size_t>(indent) * 2, ' ');
+  switch (n.kind) {
+    case ExprKind::kInput:
+      os << "input " << n.name;
+      break;
+    case ExprKind::kConst:
+      os << "const " << n.literal->ToString();
+      break;
+    case ExprKind::kVar:
+      os << "var v" << (binder_depth - 1 - n.index);
+      break;
+    case ExprKind::kAttrProj:
+      os << "proj #" << n.index;
+      break;
+    case ExprKind::kNest:
+    case ExprKind::kUnnest: {
+      os << ExprKindName(n.kind) << " attrs=[";
+      for (size_t i = 0; i < n.attrs.size(); ++i) {
+        os << (i ? ", " : "") << n.attrs[i];
+      }
+      os << "]";
+      break;
+    }
+    default:
+      os << ExprKindName(n.kind);
+      break;
+  }
+  auto it = types.find(e.raw());
+  if (it != types.end()) {
+    os << " : " << it->second.ToString();
+  }
+  os << "\n";
+  // Children: lambda bodies get a label and an extra binder; leafish
+  // bodies are rendered inline to keep plans compact.
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    int binders = BindersIntroduced(n.kind, i);
+    const char* label = nullptr;
+    if (n.kind == ExprKind::kMap && i == 0) label = "body";
+    if (n.kind == ExprKind::kSelect && i == 0) label = "lhs";
+    if (n.kind == ExprKind::kSelect && i == 1) label = "rhs";
+    if ((n.kind == ExprKind::kIfp || n.kind == ExprKind::kBoundedIfp) &&
+        i == 0) {
+      label = "step";
+    }
+    if (n.kind == ExprKind::kBoundedIfp && i == 2) label = "bound";
+    if (label != nullptr) {
+      os << std::string(static_cast<size_t>(indent + 1) * 2, ' ') << label
+         << ":\n";
+      Render(n.children[i], types, indent + 2,
+             binder_depth + static_cast<size_t>(binders), os);
+      continue;
+    }
+    Render(n.children[i], types, indent + 1,
+           binder_depth + static_cast<size_t>(binders), os);
+  }
+}
+
+}  // namespace
+
+Result<std::string> ExplainExpr(const Expr& expr, const Schema& schema) {
+  std::map<const ExprNode*, Type> types;
+  BAGALG_RETURN_IF_ERROR(AnalyzeExpr(expr, schema, &types).status());
+  std::ostringstream os;
+  Render(expr, types, 0, 0, os);
+  return os.str();
+}
+
+}  // namespace bagalg

@@ -1,0 +1,34 @@
+#ifndef BAGALG_ALGEBRA_EXPLAIN_H_
+#define BAGALG_ALGEBRA_EXPLAIN_H_
+
+/// \file explain.h
+/// EXPLAIN for BALG queries: a typed operator-tree rendering.
+///
+/// Produces the classical database plan view — one operator per line,
+/// children indented, each node annotated with its static type and the
+/// fragment-relevant facts (powerset nodes flagged, binder introductions
+/// shown). Used by the REPL's `explain` command and handy in tests when a
+/// generated expression misbehaves.
+
+#include <string>
+
+#include "src/algebra/database.h"
+#include "src/algebra/expr.h"
+#include "src/util/result.h"
+
+namespace bagalg {
+
+/// Renders an explanation tree, e.g.:
+///
+///   map: {{[U]}}
+///     body: tup(proj(1, v0))
+///     sel: {{[U, U]}}
+///       lhs: proj(1, v0) == 'alice
+///       input B: {{[U, U]}}
+///
+/// TypeError/NotFound if the expression does not typecheck under `schema`.
+Result<std::string> ExplainExpr(const Expr& expr, const Schema& schema);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_ALGEBRA_EXPLAIN_H_

@@ -1,0 +1,291 @@
+#include "src/algebra/expr.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/algebra/builder.h"
+
+namespace bagalg {
+
+const char* ExprKindName(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kInput:
+      return "input";
+    case ExprKind::kConst:
+      return "const";
+    case ExprKind::kVar:
+      return "var";
+    case ExprKind::kAdditiveUnion:
+      return "uplus";
+    case ExprKind::kSubtract:
+      return "monus";
+    case ExprKind::kMaxUnion:
+      return "umax";
+    case ExprKind::kIntersect:
+      return "inter";
+    case ExprKind::kProduct:
+      return "prod";
+    case ExprKind::kTupling:
+      return "tup";
+    case ExprKind::kBagging:
+      return "bag";
+    case ExprKind::kPowerset:
+      return "pow";
+    case ExprKind::kPowerbag:
+      return "powbag";
+    case ExprKind::kBagDestroy:
+      return "flat";
+    case ExprKind::kDupElim:
+      return "dedup";
+    case ExprKind::kAttrProj:
+      return "proj";
+    case ExprKind::kMap:
+      return "map";
+    case ExprKind::kSelect:
+      return "sel";
+    case ExprKind::kNest:
+      return "nest";
+    case ExprKind::kUnnest:
+      return "unnest";
+    case ExprKind::kIfp:
+      return "ifp";
+    case ExprKind::kBoundedIfp:
+      return "bifp";
+  }
+  return "?";
+}
+
+int BindersIntroduced(ExprKind kind, size_t child_index) {
+  switch (kind) {
+    case ExprKind::kMap:
+      return child_index == 0 ? 1 : 0;  // body binds the element
+    case ExprKind::kSelect:
+      return child_index <= 1 ? 1 : 0;  // lhs and rhs bind the element
+    case ExprKind::kIfp:
+      return child_index == 0 ? 1 : 0;  // body binds the iterate
+    case ExprKind::kBoundedIfp:
+      return child_index == 0 ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+
+size_t ExprSize(const Expr& expr) {
+  size_t n = 1;
+  for (const Expr& child : expr->children) n += ExprSize(child);
+  return n;
+}
+
+namespace {
+
+/// Renders with explicit binder names v<depth>. `depth` is the number of
+/// binders in scope.
+void Render(const Expr& expr, size_t depth, std::ostream& os) {
+  const ExprNode& n = expr.node();
+  switch (n.kind) {
+    case ExprKind::kInput:
+      os << n.name;
+      return;
+    case ExprKind::kConst:
+      os << "'" << n.literal->ToString();
+      return;
+    case ExprKind::kVar:
+      // Var(k) refers to binder at depth - 1 - k (named when introduced).
+      assert(n.index < depth);
+      os << "v" << (depth - 1 - n.index);
+      return;
+    case ExprKind::kAttrProj:
+      os << "proj(" << n.index << ", ";
+      Render(n.children[0], depth, os);
+      os << ")";
+      return;
+    case ExprKind::kMap:
+      os << "map(v" << depth << " -> ";
+      Render(n.children[0], depth + 1, os);
+      os << ", ";
+      Render(n.children[1], depth, os);
+      os << ")";
+      return;
+    case ExprKind::kSelect:
+      os << "sel(v" << depth << " -> ";
+      Render(n.children[0], depth + 1, os);
+      os << " == ";
+      Render(n.children[1], depth + 1, os);
+      os << ", ";
+      Render(n.children[2], depth, os);
+      os << ")";
+      return;
+    case ExprKind::kIfp:
+      os << "ifp(v" << depth << " -> ";
+      Render(n.children[0], depth + 1, os);
+      os << ", ";
+      Render(n.children[1], depth, os);
+      os << ")";
+      return;
+    case ExprKind::kBoundedIfp:
+      os << "bifp(v" << depth << " -> ";
+      Render(n.children[0], depth + 1, os);
+      os << ", ";
+      Render(n.children[1], depth, os);
+      os << ", ";
+      Render(n.children[2], depth, os);
+      os << ")";
+      return;
+    case ExprKind::kNest:
+    case ExprKind::kUnnest: {
+      os << ExprKindName(n.kind) << "([";
+      for (size_t i = 0; i < n.attrs.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << n.attrs[i];
+      }
+      os << "], ";
+      Render(n.children[0], depth, os);
+      os << ")";
+      return;
+    }
+    default: {
+      os << ExprKindName(n.kind) << "(";
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        if (i > 0) os << ", ";
+        Render(n.children[i], depth, os);
+      }
+      os << ")";
+      return;
+    }
+  }
+}
+
+Expr MakeNode(ExprNode node) {
+  return Expr(std::make_shared<const ExprNode>(std::move(node)));
+}
+
+Expr MakeOp(ExprKind kind, std::vector<Expr> children) {
+  ExprNode node;
+  node.kind = kind;
+  node.children = std::move(children);
+  return MakeNode(std::move(node));
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  Render(*this, 0, os);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Expr& expr) {
+  Render(expr, 0, os);
+  return os;
+}
+
+// ------------------------------------------------------------------ builders
+
+Expr Input(std::string name) {
+  ExprNode node;
+  node.kind = ExprKind::kInput;
+  node.name = std::move(name);
+  return MakeNode(std::move(node));
+}
+
+Expr ConstExpr(Value literal) {
+  ExprNode node;
+  node.kind = ExprKind::kConst;
+  node.literal = std::move(literal);
+  return MakeNode(std::move(node));
+}
+
+Expr ConstBag(Bag bag) { return ConstExpr(Value::FromBag(std::move(bag))); }
+
+Expr Var(size_t depth) {
+  ExprNode node;
+  node.kind = ExprKind::kVar;
+  node.index = depth;
+  return MakeNode(std::move(node));
+}
+
+Expr Uplus(Expr a, Expr b) {
+  return MakeOp(ExprKind::kAdditiveUnion, {std::move(a), std::move(b)});
+}
+Expr Monus(Expr a, Expr b) {
+  return MakeOp(ExprKind::kSubtract, {std::move(a), std::move(b)});
+}
+Expr Umax(Expr a, Expr b) {
+  return MakeOp(ExprKind::kMaxUnion, {std::move(a), std::move(b)});
+}
+Expr Inter(Expr a, Expr b) {
+  return MakeOp(ExprKind::kIntersect, {std::move(a), std::move(b)});
+}
+Expr Product(Expr a, Expr b) {
+  return MakeOp(ExprKind::kProduct, {std::move(a), std::move(b)});
+}
+
+Expr Tup(std::vector<Expr> fields) {
+  return MakeOp(ExprKind::kTupling, std::move(fields));
+}
+Expr Tup(std::initializer_list<Expr> fields) {
+  return Tup(std::vector<Expr>(fields));
+}
+
+Expr Beta(Expr e) { return MakeOp(ExprKind::kBagging, {std::move(e)}); }
+
+Expr Proj(Expr e, size_t attr) {
+  assert(attr >= 1 && "attribute projection is 1-based");
+  ExprNode node;
+  node.kind = ExprKind::kAttrProj;
+  node.index = attr;
+  node.children.push_back(std::move(e));
+  return MakeNode(std::move(node));
+}
+
+Expr Pow(Expr e) { return MakeOp(ExprKind::kPowerset, {std::move(e)}); }
+Expr Powbag(Expr e) { return MakeOp(ExprKind::kPowerbag, {std::move(e)}); }
+Expr Destroy(Expr e) { return MakeOp(ExprKind::kBagDestroy, {std::move(e)}); }
+Expr Eps(Expr e) { return MakeOp(ExprKind::kDupElim, {std::move(e)}); }
+
+Expr Map(Expr body, Expr source) {
+  return MakeOp(ExprKind::kMap, {std::move(body), std::move(source)});
+}
+
+Expr Select(Expr lhs, Expr rhs, Expr source) {
+  return MakeOp(ExprKind::kSelect,
+                {std::move(lhs), std::move(rhs), std::move(source)});
+}
+
+Expr ProjectAttrs(Expr source, const std::vector<size_t>& attrs) {
+  std::vector<Expr> fields;
+  fields.reserve(attrs.size());
+  for (size_t a : attrs) fields.push_back(Proj(Var(0), a));
+  return Map(Tup(std::move(fields)), std::move(source));
+}
+
+Expr ProjectAttrs(Expr source, std::initializer_list<size_t> attrs) {
+  return ProjectAttrs(std::move(source), std::vector<size_t>(attrs));
+}
+
+Expr NestExpr(Expr source, std::vector<size_t> nested_attrs) {
+  ExprNode node;
+  node.kind = ExprKind::kNest;
+  node.attrs = std::move(nested_attrs);
+  node.children.push_back(std::move(source));
+  return MakeNode(std::move(node));
+}
+
+Expr UnnestExpr(Expr source, size_t attr) {
+  ExprNode node;
+  node.kind = ExprKind::kUnnest;
+  node.attrs = {attr};
+  node.children.push_back(std::move(source));
+  return MakeNode(std::move(node));
+}
+
+Expr Ifp(Expr body, Expr seed) {
+  return MakeOp(ExprKind::kIfp, {std::move(body), std::move(seed)});
+}
+
+Expr BoundedIfp(Expr body, Expr seed, Expr bound) {
+  return MakeOp(ExprKind::kBoundedIfp,
+                {std::move(body), std::move(seed), std::move(bound)});
+}
+
+}  // namespace bagalg

@@ -1,0 +1,115 @@
+#ifndef BAGALG_ALGEBRA_EXPR_H_
+#define BAGALG_ALGEBRA_EXPR_H_
+
+/// \file expr.h
+/// Abstract syntax of BALG expressions (paper §3).
+///
+/// An expression denotes a complex object — usually a bag, but lambda bodies
+/// inside MAP/σ may denote atoms or tuples. Lambdas are represented with de
+/// Bruijn indices: `Var(0)` is the argument of the innermost enclosing
+/// binder (MAP body, σ operand, or fixpoint body), `Var(1)` the next one
+/// out, and so on. The fluent construction API in builder.h hides the
+/// indices; the surface syntax in src/lang uses names.
+///
+/// Expressions are immutable shared trees. ToString renders the surface
+/// syntax accepted by the parser (round-trip tested).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/value.h"
+
+namespace bagalg {
+
+/// Operator tags. The comment gives the paper's notation.
+enum class ExprKind {
+  kInput,          ///< named database bag B
+  kConst,          ///< literal complex object
+  kVar,            ///< lambda-bound variable (de Bruijn)
+  kAdditiveUnion,  ///< ⊎  (paper ∪+)
+  kSubtract,       ///< −  (monus)
+  kMaxUnion,       ///< ∪
+  kIntersect,      ///< ∩
+  kProduct,        ///< ×  (Cartesian product of tuple bags)
+  kTupling,        ///< τ(o1,...,ok)
+  kBagging,        ///< β(o)
+  kPowerset,       ///< P
+  kPowerbag,       ///< P_b (Definition 5.1)
+  kBagDestroy,     ///< δ
+  kDupElim,        ///< ε
+  kAttrProj,       ///< α_i (1-based, on a tuple-denoting expression)
+  kMap,            ///< MAP φ
+  kSelect,         ///< σ_{φ=φ'}
+  kNest,           ///< nest (extension, §7)
+  kUnnest,         ///< unnest (extension)
+  kIfp,            ///< inflationary fixpoint (Theorem 6.6)
+  kBoundedIfp,     ///< bounded fixpoint [Suc93] (§6 end)
+};
+
+/// Human-readable operator name ("uplus", "pow", ...), matching the surface
+/// syntax keyword where one exists.
+const char* ExprKindName(ExprKind kind);
+
+class ExprNode;
+
+/// Shared-immutable handle to an expression tree.
+class Expr {
+ public:
+  /// Default-constructs an empty handle; using it is a programming error.
+  Expr() = default;
+  explicit Expr(std::shared_ptr<const ExprNode> node)
+      : node_(std::move(node)) {}
+
+  /// True iff the handle points at a node.
+  bool IsValid() const { return node_ != nullptr; }
+
+  const ExprNode& node() const { return *node_; }
+  const ExprNode* operator->() const { return node_.get(); }
+
+  /// Pointer identity (used for analysis caches).
+  const ExprNode* raw() const { return node_.get(); }
+
+  /// Renders the surface syntax (parseable by bagalg::lang::ParseExpr).
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const ExprNode> node_;
+};
+
+/// One AST node. Fields beyond `kind` are meaningful per-kind:
+///  - kInput: name
+///  - kConst: literal
+///  - kVar: index (de Bruijn depth)
+///  - kAttrProj: index (1-based attribute), children[0]
+///  - kNest/kUnnest: attrs (1-based), children[0]
+///  - kMap: children = {body, source}; body binds one variable
+///  - kSelect: children = {lhs, rhs, source}; lhs/rhs bind one variable
+///  - kIfp: children = {body, seed}; body binds the iterate
+///  - kBoundedIfp: children = {body, seed, bound}; body binds the iterate
+///  - other operators: children are the operands in order
+class ExprNode {
+ public:
+  ExprKind kind;
+  std::vector<Expr> children;
+  std::string name;            // kInput
+  std::optional<Value> literal;  // kConst
+  size_t index = 0;            // kVar depth or kAttrProj attribute (1-based)
+  std::vector<size_t> attrs;   // kNest / kUnnest (1-based)
+};
+
+/// How many variables a child position binds: MAP body, σ lhs/rhs, and
+/// fixpoint bodies each introduce one binder; all other positions zero.
+int BindersIntroduced(ExprKind kind, size_t child_index);
+
+/// Number of AST nodes (lambda bodies included).
+size_t ExprSize(const Expr& expr);
+
+std::ostream& operator<<(std::ostream& os, const Expr& expr);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_ALGEBRA_EXPR_H_

@@ -1,0 +1,307 @@
+#include "src/algebra/rewrite.h"
+
+#include <optional>
+
+#include "src/algebra/builder.h"
+#include "src/algebra/derived.h"
+#include "src/algebra/eval.h"
+#include "src/algebra/typecheck.h"
+
+namespace bagalg {
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.raw() == b.raw()) return true;
+  const ExprNode& na = a.node();
+  const ExprNode& nb = b.node();
+  if (na.kind != nb.kind || na.name != nb.name || na.index != nb.index ||
+      na.attrs != nb.attrs) {
+    return false;
+  }
+  if (na.literal.has_value() != nb.literal.has_value()) return false;
+  if (na.literal && !(*na.literal == *nb.literal)) return false;
+  if (na.children.size() != nb.children.size()) return false;
+  for (size_t i = 0; i < na.children.size(); ++i) {
+    if (!ExprEquals(na.children[i], nb.children[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool IsEmptyConst(const Expr& e) {
+  return e->kind == ExprKind::kConst && e->literal->IsBag() &&
+         e->literal->bag().empty();
+}
+
+bool IsSetLikeConst(const Expr& e) {
+  return e->kind == ExprKind::kConst && e->literal->IsBag() &&
+         e->literal->bag().IsSetLike();
+}
+
+/// True iff the subtree references no database input and no variable bound
+/// outside it (depth counts binders inside the subtree).
+bool IsClosed(const Expr& e, size_t depth) {
+  const ExprNode& n = e.node();
+  if (n.kind == ExprKind::kInput) return false;
+  if (n.kind == ExprKind::kVar) return n.index < depth;
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    size_t d = depth + static_cast<size_t>(BindersIntroduced(n.kind, i));
+    if (!IsClosed(n.children[i], d)) return false;
+  }
+  return true;
+}
+
+/// True iff a σ-predicate body only dereferences its bound tuple through
+/// Proj(Var(0), i) with lo <= i <= hi, and never uses Var(0) whole.
+/// `depth` tracks nested binders (Var(depth) is the σ's tuple).
+bool PredicateAttrsWithin(const Expr& e, size_t depth, size_t lo, size_t hi) {
+  const ExprNode& n = e.node();
+  if (n.kind == ExprKind::kAttrProj && n.children[0]->kind == ExprKind::kVar &&
+      n.children[0]->index == depth) {
+    return n.index >= lo && n.index <= hi;
+  }
+  if (n.kind == ExprKind::kVar && n.index == depth) return false;
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    size_t d = depth + static_cast<size_t>(BindersIntroduced(n.kind, i));
+    if (!PredicateAttrsWithin(n.children[i], d, lo, hi)) return false;
+  }
+  return true;
+}
+
+/// Shifts the attribute indices of Proj(Var(0), i) by -delta (for pushing a
+/// right-side predicate onto the right product operand).
+Expr ShiftPredicateAttrs(const Expr& e, size_t depth, size_t delta) {
+  const ExprNode& n = e.node();
+  if (n.kind == ExprKind::kAttrProj && n.children[0]->kind == ExprKind::kVar &&
+      n.children[0]->index == depth) {
+    ExprNode out = n;
+    out.index = n.index - delta;
+    return Expr(std::make_shared<const ExprNode>(std::move(out)));
+  }
+  if (n.children.empty()) return e;
+  ExprNode out = n;
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    size_t d = depth + static_cast<size_t>(BindersIntroduced(n.kind, i));
+    out.children[i] = ShiftPredicateAttrs(n.children[i], d, delta);
+  }
+  return Expr(std::make_shared<const ExprNode>(std::move(out)));
+}
+
+class Rewriter {
+ public:
+  Rewriter(const Schema& schema, const RewriteOptions& options,
+           std::map<std::string, size_t>* applied)
+      : schema_(schema), options_(options), applied_(applied) {}
+
+  Result<Expr> Run(Expr expr) {
+    for (int round = 0; round < options_.max_rounds; ++round) {
+      changed_ = false;
+      BAGALG_ASSIGN_OR_RETURN(expr, RewriteBottomUp(expr));
+      if (!changed_) break;
+    }
+    return expr;
+  }
+
+ private:
+  void Note(const char* rule) {
+    changed_ = true;
+    if (applied_ != nullptr) (*applied_)[rule] += 1;
+  }
+
+  Result<Expr> RewriteBottomUp(const Expr& expr) {
+    const ExprNode& n = expr.node();
+    Expr current = expr;
+    if (!n.children.empty()) {
+      ExprNode out = n;
+      bool any = false;
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        BAGALG_ASSIGN_OR_RETURN(Expr c, RewriteBottomUp(n.children[i]));
+        if (c.raw() != n.children[i].raw()) any = true;
+        out.children[i] = std::move(c);
+      }
+      if (any) {
+        current = Expr(std::make_shared<const ExprNode>(std::move(out)));
+      }
+    }
+    return RewriteNode(current);
+  }
+
+  Result<Expr> RewriteNode(const Expr& expr) {
+    if (options_.identities) {
+      if (auto r = TryIdentities(expr)) return *r;
+    }
+    if (options_.push_selections) {
+      if (auto r = TrySelectionRules(expr)) return *r;
+    }
+    if (options_.constant_folding) {
+      BAGALG_ASSIGN_OR_RETURN(std::optional<Expr> folded, TryFold(expr));
+      if (folded) return *folded;
+    }
+    return expr;
+  }
+
+  std::optional<Expr> TryIdentities(const Expr& expr) {
+    const ExprNode& n = expr.node();
+    switch (n.kind) {
+      case ExprKind::kAdditiveUnion:
+      case ExprKind::kMaxUnion:
+        if (IsEmptyConst(n.children[0])) {
+          Note("union-empty");
+          return n.children[1];
+        }
+        if (IsEmptyConst(n.children[1])) {
+          Note("union-empty");
+          return n.children[0];
+        }
+        if (n.kind == ExprKind::kMaxUnion &&
+            ExprEquals(n.children[0], n.children[1])) {
+          Note("umax-idempotent");
+          return n.children[0];
+        }
+        return std::nullopt;
+      case ExprKind::kSubtract:
+        if (IsEmptyConst(n.children[1])) {
+          Note("monus-empty");
+          return n.children[0];
+        }
+        return std::nullopt;
+      case ExprKind::kIntersect:
+        if (ExprEquals(n.children[0], n.children[1])) {
+          Note("inter-idempotent");
+          return n.children[0];
+        }
+        return std::nullopt;
+      case ExprKind::kDupElim: {
+        const Expr& child = n.children[0];
+        if (child->kind == ExprKind::kDupElim) {
+          Note("dedup-dedup");
+          return child;
+        }
+        if (child->kind == ExprKind::kPowerset) {
+          // P outputs one occurrence of each subbag; ε is a no-op.
+          Note("dedup-pow");
+          return child;
+        }
+        if (IsSetLikeConst(child)) {
+          Note("dedup-setlike-const");
+          return child;
+        }
+        return std::nullopt;
+      }
+      case ExprKind::kBagDestroy: {
+        // δ(MAP λx.β(x) (e)) = e.
+        const Expr& child = n.children[0];
+        if (child->kind == ExprKind::kMap &&
+            child->children[0]->kind == ExprKind::kBagging &&
+            child->children[0]->children[0]->kind == ExprKind::kVar &&
+            child->children[0]->children[0]->index == 0) {
+          Note("destroy-map-beta");
+          return child->children[1];
+        }
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Expr> TrySelectionRules(const Expr& expr) {
+    const ExprNode& n = expr.node();
+    if (n.kind != ExprKind::kSelect) return std::nullopt;
+    const Expr& lhs = n.children[0];
+    const Expr& rhs = n.children[1];
+    const Expr& src = n.children[2];
+    // σ_{φ=φ}: a structurally identical test always holds.
+    if (ExprEquals(lhs, rhs)) {
+      Note("select-tautology");
+      return src;
+    }
+    switch (src->kind) {
+      case ExprKind::kAdditiveUnion:
+      case ExprKind::kMaxUnion:
+      case ExprKind::kIntersect:
+      case ExprKind::kSubtract: {
+        // σ distributes over the four multiplicity-pointwise operators.
+        ExprNode out;
+        out.kind = src->kind;
+        out.children = {Select(lhs, rhs, src->children[0]),
+                        Select(lhs, rhs, src->children[1])};
+        Note("select-distribute");
+        return Expr(std::make_shared<const ExprNode>(std::move(out)));
+      }
+      case ExprKind::kProduct: {
+        // Push onto one operand when the predicate only touches its
+        // attributes. Requires the operand arities.
+        auto left_type = TypeOf(src->children[0], schema_);
+        auto right_type = TypeOf(src->children[1], schema_);
+        if (!left_type.ok() || !right_type.ok()) return std::nullopt;
+        if (!left_type->IsBag() || !left_type->element().IsTuple() ||
+            !right_type->IsBag() || !right_type->element().IsTuple()) {
+          return std::nullopt;
+        }
+        size_t k = left_type->element().fields().size();
+        size_t m = right_type->element().fields().size();
+        if (PredicateAttrsWithin(lhs, 0, 1, k) &&
+            PredicateAttrsWithin(rhs, 0, 1, k)) {
+          Note("select-push-left");
+          return Product(Select(lhs, rhs, src->children[0]),
+                         src->children[1]);
+        }
+        if (PredicateAttrsWithin(lhs, 0, k + 1, k + m) &&
+            PredicateAttrsWithin(rhs, 0, k + 1, k + m)) {
+          Note("select-push-right");
+          return Product(src->children[0],
+                         Select(ShiftPredicateAttrs(lhs, 0, k),
+                                ShiftPredicateAttrs(rhs, 0, k),
+                                src->children[1]));
+        }
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  Result<std::optional<Expr>> TryFold(const Expr& expr) {
+    const ExprNode& n = expr.node();
+    if (n.kind == ExprKind::kConst || n.children.empty()) {
+      return std::optional<Expr>();
+    }
+    // Fixpoints are excluded from folding: they may be expensive even on
+    // constants and folding would hide their cost from benchmarks.
+    if (n.kind == ExprKind::kIfp || n.kind == ExprKind::kBoundedIfp) {
+      return std::optional<Expr>();
+    }
+    if (!IsClosed(expr, 0)) return std::optional<Expr>();
+    Evaluator eval(Limits::Tiny());
+    Database empty_db;
+    auto v = eval.Eval(expr, empty_db);
+    if (!v.ok()) {
+      // Folding is best-effort; a budget miss just leaves the node alone,
+      // but genuine type errors should still surface at evaluation time,
+      // so only swallow resource errors here.
+      if (v.status().code() == StatusCode::kResourceExhausted) {
+        return std::optional<Expr>();
+      }
+      return std::optional<Expr>();
+    }
+    Note("constant-fold");
+    return std::optional<Expr>(ConstExpr(std::move(v).value()));
+  }
+
+  const Schema& schema_;
+  const RewriteOptions& options_;
+  std::map<std::string, size_t>* applied_;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+Result<Expr> Optimize(const Expr& expr, const Schema& schema,
+                      const RewriteOptions& options,
+                      std::map<std::string, size_t>* applied) {
+  Rewriter rewriter(schema, options, applied);
+  return rewriter.Run(expr);
+}
+
+}  // namespace bagalg

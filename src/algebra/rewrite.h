@@ -1,0 +1,54 @@
+#ifndef BAGALG_ALGEBRA_REWRITE_H_
+#define BAGALG_ALGEBRA_REWRITE_H_
+
+/// \file rewrite.h
+/// Algebraic rewriting of BALG expressions.
+///
+/// §3 of the paper observes that the operators satisfy the classical
+/// algebraic laws (associativity/commutativity of ⊎, ∪, ∩; distribution of
+/// selection) and that queries over bags can be optimized "in the same
+/// spirit as optimization of queries over sets, by pushing down selections".
+/// This module implements a rule-driven rewriter:
+///
+///   * identity elimination      (e ⊎ ∅ → e, ε∘ε → ε, ε∘P → P, δ∘MAPβ → id,
+///                                e ∩ e → e, e ∪ e → e)
+///   * selection distribution    σ over ⊎, ∪, ∩, −
+///   * selection push-down       σ(A × B) → σ'(A) × B when the predicate
+///                               only touches A's attributes (needs types,
+///                               hence the schema parameter)
+///   * constant folding          closed subexpressions are evaluated once
+///
+/// Every rule preserves bag semantics exactly (multiplicities included);
+/// the property suite checks rewritten ≡ original on random databases.
+
+#include <map>
+#include <string>
+
+#include "src/algebra/database.h"
+#include "src/algebra/expr.h"
+#include "src/util/result.h"
+
+namespace bagalg {
+
+/// Structural equality of expression trees (used by idempotence rules and
+/// tests).
+bool ExprEquals(const Expr& a, const Expr& b);
+
+/// Rewriter configuration.
+struct RewriteOptions {
+  bool identities = true;
+  bool push_selections = true;
+  bool constant_folding = true;
+  /// Max full bottom-up passes before giving up on reaching a fixpoint.
+  int max_rounds = 8;
+};
+
+/// Applies the rule set to fixpoint (or max_rounds). `applied`, if non-null,
+/// receives rule-name -> application-count.
+Result<Expr> Optimize(const Expr& expr, const Schema& schema,
+                      const RewriteOptions& options = RewriteOptions{},
+                      std::map<std::string, size_t>* applied = nullptr);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_ALGEBRA_REWRITE_H_

@@ -1,0 +1,317 @@
+#include "src/algebra/typecheck.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace bagalg {
+
+namespace {
+
+/// Recursive checker carrying the binder type stack and accumulating the
+/// analysis. Returns the node's type.
+class Checker {
+ public:
+  Checker(const Schema& schema, std::map<const ExprNode*, Type>* node_types)
+      : schema_(schema), node_types_(node_types) {}
+
+  Result<Type> Check(const Expr& expr, ExprAnalysis* out) {
+    BAGALG_ASSIGN_OR_RETURN(Type type, CheckNode(expr, out));
+    // Record this node's contribution to the analysis.
+    return type;
+  }
+
+ private:
+  /// Requires a bag type (Bottom treated as empty bag of unknown element).
+  static Result<Type> ElementOf(const Type& t, const char* op) {
+    if (t.IsBag()) return t.element();
+    if (t.IsBottom()) return Type::Bottom();
+    return Status::TypeError(std::string(op) + " requires a bag operand, got " +
+                             t.ToString());
+  }
+
+  Result<Type> CheckNode(const Expr& expr, ExprAnalysis* out) {
+    const ExprNode& n = expr.node();
+    out->node_count += 1;
+    out->op_counts[n.kind] += 1;
+    if (n.kind == ExprKind::kPowerbag) out->uses_powerbag = true;
+    if (n.kind == ExprKind::kIfp || n.kind == ExprKind::kBoundedIfp) {
+      out->uses_fixpoint = true;
+    }
+
+    // Power nesting: depth of P/P_b below (and including) this node. We
+    // compute it via the recursion below: children are checked first and
+    // their max depth is in power_depth_; see the bookkeeping at the end.
+    int child_power_max = 0;
+
+    auto check_child = [&](const Expr& child,
+                           int binders_pushed) -> Result<Type> {
+      (void)binders_pushed;  // stack already adjusted by caller
+      int saved = power_depth_;
+      power_depth_ = 0;
+      auto r = CheckNode(child, out);
+      child_power_max = std::max(child_power_max, power_depth_);
+      power_depth_ = saved;
+      return r;
+    };
+
+    Result<Type> result = [&]() -> Result<Type> {
+      switch (n.kind) {
+        case ExprKind::kInput: {
+          auto it = schema_.find(n.name);
+          if (it == schema_.end()) {
+            return Status::NotFound("no input bag named '" + n.name + "'");
+          }
+          if (!it->second.IsBag()) {
+            return Status::TypeError("input " + n.name +
+                                     " has non-bag schema type " +
+                                     it->second.ToString());
+          }
+          return it->second;
+        }
+        case ExprKind::kConst:
+          return n.literal->type();
+        case ExprKind::kVar: {
+          if (n.index >= binders_.size()) {
+            return Status::TypeError("unbound variable of depth " +
+                                     std::to_string(n.index));
+          }
+          return binders_[binders_.size() - 1 - n.index];
+        }
+        case ExprKind::kAdditiveUnion:
+        case ExprKind::kSubtract:
+        case ExprKind::kMaxUnion:
+        case ExprKind::kIntersect: {
+          BAGALG_ASSIGN_OR_RETURN(Type a, check_child(n.children[0], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type b, check_child(n.children[1], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type ea,
+                                  ElementOf(a, ExprKindName(n.kind)));
+          BAGALG_ASSIGN_OR_RETURN(Type eb,
+                                  ElementOf(b, ExprKindName(n.kind)));
+          BAGALG_ASSIGN_OR_RETURN(Type elem, Type::Join(ea, eb));
+          return Type::Bag(std::move(elem));
+        }
+        case ExprKind::kProduct: {
+          BAGALG_ASSIGN_OR_RETURN(Type a, check_child(n.children[0], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type b, check_child(n.children[1], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type ea, ElementOf(a, "prod"));
+          BAGALG_ASSIGN_OR_RETURN(Type eb, ElementOf(b, "prod"));
+          if (ea.IsBottom() || eb.IsBottom()) return Type::Bag(Type::Bottom());
+          if (!ea.IsTuple() || !eb.IsTuple()) {
+            return Status::TypeError(
+                "prod requires bags of tuples, got elements " +
+                ea.ToString() + " and " + eb.ToString());
+          }
+          std::vector<Type> fields = ea.fields();
+          fields.insert(fields.end(), eb.fields().begin(), eb.fields().end());
+          return Type::Bag(Type::Tuple(std::move(fields)));
+        }
+        case ExprKind::kTupling: {
+          std::vector<Type> fields;
+          fields.reserve(n.children.size());
+          for (const Expr& c : n.children) {
+            BAGALG_ASSIGN_OR_RETURN(Type f, check_child(c, 0));
+            fields.push_back(std::move(f));
+          }
+          return Type::Tuple(std::move(fields));
+        }
+        case ExprKind::kBagging: {
+          BAGALG_ASSIGN_OR_RETURN(Type t, check_child(n.children[0], 0));
+          return Type::Bag(std::move(t));
+        }
+        case ExprKind::kPowerset:
+        case ExprKind::kPowerbag: {
+          BAGALG_ASSIGN_OR_RETURN(Type t, check_child(n.children[0], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type elem,
+                                  ElementOf(t, ExprKindName(n.kind)));
+          return Type::Bag(Type::Bag(std::move(elem)));
+        }
+        case ExprKind::kBagDestroy: {
+          BAGALG_ASSIGN_OR_RETURN(Type t, check_child(n.children[0], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type elem, ElementOf(t, "flat"));
+          if (elem.IsBottom()) return Type::Bag(Type::Bottom());
+          if (!elem.IsBag()) {
+            return Status::TypeError("flat requires a bag of bags, got " +
+                                     t.ToString());
+          }
+          return elem;
+        }
+        case ExprKind::kDupElim: {
+          BAGALG_ASSIGN_OR_RETURN(Type t, check_child(n.children[0], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type elem, ElementOf(t, "dedup"));
+          return Type::Bag(std::move(elem));
+        }
+        case ExprKind::kAttrProj: {
+          BAGALG_ASSIGN_OR_RETURN(Type t, check_child(n.children[0], 0));
+          if (t.IsBottom()) return Type::Bottom();
+          if (!t.IsTuple()) {
+            return Status::TypeError("proj applies to tuples, got " +
+                                     t.ToString());
+          }
+          if (n.index < 1 || n.index > t.fields().size()) {
+            return Status::TypeError(
+                "proj attribute " + std::to_string(n.index) +
+                " out of range for " + t.ToString());
+          }
+          return t.fields()[n.index - 1];
+        }
+        case ExprKind::kMap: {
+          BAGALG_ASSIGN_OR_RETURN(Type src, check_child(n.children[1], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type elem, ElementOf(src, "map"));
+          binders_.push_back(elem);
+          auto body = check_child(n.children[0], 1);
+          binders_.pop_back();
+          BAGALG_RETURN_IF_ERROR(body.status());
+          return Type::Bag(std::move(body).value());
+        }
+        case ExprKind::kSelect: {
+          BAGALG_ASSIGN_OR_RETURN(Type src, check_child(n.children[2], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type elem, ElementOf(src, "sel"));
+          binders_.push_back(elem);
+          auto lhs = check_child(n.children[0], 1);
+          auto rhs = check_child(n.children[1], 1);
+          binders_.pop_back();
+          BAGALG_RETURN_IF_ERROR(lhs.status());
+          BAGALG_RETURN_IF_ERROR(rhs.status());
+          // The two sides must denote comparable objects.
+          BAGALG_RETURN_IF_ERROR(
+              Type::Join(lhs.value(), rhs.value()).status());
+          return Type::Bag(std::move(elem));
+        }
+        case ExprKind::kNest: {
+          BAGALG_ASSIGN_OR_RETURN(Type src, check_child(n.children[0], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type elem, ElementOf(src, "nest"));
+          if (elem.IsBottom()) return Type::Bag(Type::Bottom());
+          if (!elem.IsTuple()) {
+            return Status::TypeError("nest requires a bag of tuples");
+          }
+          std::vector<bool> nested(elem.fields().size(), false);
+          for (size_t a : n.attrs) {
+            if (a < 1 || a > elem.fields().size()) {
+              return Status::TypeError("nest attribute out of range");
+            }
+            nested[a - 1] = true;
+          }
+          std::vector<Type> key;
+          std::vector<Type> group;
+          for (size_t i = 0; i < elem.fields().size(); ++i) {
+            (nested[i] ? group : key).push_back(elem.fields()[i]);
+          }
+          key.push_back(Type::Bag(Type::Tuple(std::move(group))));
+          return Type::Bag(Type::Tuple(std::move(key)));
+        }
+        case ExprKind::kUnnest: {
+          BAGALG_ASSIGN_OR_RETURN(Type src, check_child(n.children[0], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type elem, ElementOf(src, "unnest"));
+          if (elem.IsBottom()) return Type::Bag(Type::Bottom());
+          if (!elem.IsTuple()) {
+            return Status::TypeError("unnest requires a bag of tuples");
+          }
+          size_t a = n.attrs.empty() ? 0 : n.attrs[0];
+          if (a < 1 || a > elem.fields().size()) {
+            return Status::TypeError("unnest attribute out of range");
+          }
+          const Type& field = elem.fields()[a - 1];
+          if (!field.IsBag() && !field.IsBottom()) {
+            return Status::TypeError("unnest attribute is not a bag");
+          }
+          std::vector<Type> fields = elem.fields();
+          fields[a - 1] = field.IsBag() ? field.element() : Type::Bottom();
+          return Type::Bag(Type::Tuple(std::move(fields)));
+        }
+        case ExprKind::kIfp:
+        case ExprKind::kBoundedIfp: {
+          BAGALG_ASSIGN_OR_RETURN(Type seed, check_child(n.children[1], 0));
+          BAGALG_ASSIGN_OR_RETURN(Type seed_elem, ElementOf(seed, "ifp"));
+          binders_.push_back(Type::Bag(seed_elem));
+          auto body = check_child(n.children[0], 1);
+          binders_.pop_back();
+          BAGALG_RETURN_IF_ERROR(body.status());
+          BAGALG_ASSIGN_OR_RETURN(Type body_elem,
+                                  ElementOf(body.value(), "ifp body"));
+          BAGALG_ASSIGN_OR_RETURN(Type elem,
+                                  Type::Join(seed_elem, body_elem));
+          if (n.kind == ExprKind::kBoundedIfp) {
+            BAGALG_ASSIGN_OR_RETURN(Type bound, check_child(n.children[2], 0));
+            BAGALG_ASSIGN_OR_RETURN(Type bound_elem,
+                                    ElementOf(bound, "bifp bound"));
+            BAGALG_ASSIGN_OR_RETURN(elem, Type::Join(elem, bound_elem));
+          }
+          return Type::Bag(std::move(elem));
+        }
+      }
+      return Status::Internal("unhandled expression kind");
+    }();
+
+    BAGALG_RETURN_IF_ERROR(result.status());
+    if (node_types_ != nullptr) {
+      (*node_types_)[expr.raw()] = result.value();
+    }
+    // Fragment bookkeeping: this node's type contributes to the max type
+    // nesting; P/P_b extends the power-nesting depth of its subtree.
+    out->max_type_nesting =
+        std::max(out->max_type_nesting, result.value().BagNesting());
+    power_depth_ = child_power_max;
+    if (n.kind == ExprKind::kPowerset || n.kind == ExprKind::kPowerbag) {
+      power_depth_ += 1;
+    }
+    out->power_nesting = std::max(out->power_nesting, power_depth_);
+    return result;
+  }
+
+  const Schema& schema_;
+  std::map<const ExprNode*, Type>* node_types_;
+  std::vector<Type> binders_;
+  /// Max P/P_b depth of the most recently checked subtree.
+  int power_depth_ = 0;
+};
+
+}  // namespace
+
+Result<Type> TypeOf(const Expr& expr, const Schema& schema) {
+  ExprAnalysis analysis;
+  Checker checker(schema, nullptr);
+  return checker.Check(expr, &analysis);
+}
+
+Result<ExprAnalysis> AnalyzeExpr(const Expr& expr, const Schema& schema,
+                                 std::map<const ExprNode*, Type>* node_types) {
+  ExprAnalysis analysis;
+  Checker checker(schema, node_types);
+  BAGALG_ASSIGN_OR_RETURN(analysis.type, checker.Check(expr, &analysis));
+  // Inputs contribute their nesting even when deeper than any intermediate.
+  for (const auto& [name, type] : schema) {
+    (void)name;
+    analysis.max_type_nesting =
+        std::max(analysis.max_type_nesting, type.BagNesting());
+  }
+  return analysis;
+}
+
+Status CheckFragment(const Expr& expr, const Schema& schema, int k) {
+  BAGALG_ASSIGN_OR_RETURN(ExprAnalysis a, AnalyzeExpr(expr, schema));
+  if (a.max_type_nesting > k) {
+    return Status::Unsupported(
+        "expression uses types of bag nesting " +
+        std::to_string(a.max_type_nesting) + ", outside BALG^" +
+        std::to_string(k));
+  }
+  return Status::Ok();
+}
+
+Status CheckBalg1(const Expr& expr, const Schema& schema) {
+  BAGALG_ASSIGN_OR_RETURN(ExprAnalysis a, AnalyzeExpr(expr, schema));
+  if (a.max_type_nesting > 1) {
+    return Status::Unsupported("expression types exceed bag nesting 1");
+  }
+  for (ExprKind k : {ExprKind::kPowerset, ExprKind::kPowerbag,
+                     ExprKind::kBagDestroy}) {
+    auto it = a.op_counts.find(k);
+    if (it != a.op_counts.end() && it->second > 0) {
+      return Status::Unsupported(std::string("operator ") + ExprKindName(k) +
+                                 " is not part of BALG^1");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace bagalg

@@ -1,0 +1,66 @@
+#ifndef BAGALG_ALGEBRA_TYPECHECK_H_
+#define BAGALG_ALGEBRA_TYPECHECK_H_
+
+/// \file typecheck.h
+/// Static typing and fragment analysis of BALG expressions.
+///
+/// The paper stratifies the algebra two ways:
+///  * **bag nesting** — BALG^k restricts every type appearing in the
+///    expression (inputs, intermediates, output) to bag nesting ≤ k (§4–§6);
+///  * **power nesting** — BALG^k_i additionally bounds the number of nested
+///    powerset/powerbag applications on any root-to-leaf path (§6), the
+///    parameter driving the space hierarchy of Theorem 6.2.
+/// AnalyzeExpr computes the output type together with both measures, so
+/// experiments can verify, e.g., that the Theorem 6.1 construction for
+/// hyper(i) time really has power nesting 2i+2.
+
+#include <map>
+
+#include "src/algebra/database.h"
+#include "src/algebra/expr.h"
+#include "src/core/type.h"
+#include "src/util/result.h"
+
+namespace bagalg {
+
+/// Result of static analysis over one expression.
+struct ExprAnalysis {
+  /// The expression's output type.
+  Type type;
+  /// Max bag nesting over the types of all subexpressions (the k such that
+  /// the expression lies in BALG^k, inputs included).
+  int max_type_nesting = 0;
+  /// Max number of powerset/powerbag nodes on a root-to-leaf path (the i of
+  /// BALG^k_i).
+  int power_nesting = 0;
+  /// Total AST nodes.
+  size_t node_count = 0;
+  /// True iff the expression uses P_b / a fixpoint operator.
+  bool uses_powerbag = false;
+  bool uses_fixpoint = false;
+  /// Occurrences of each operator.
+  std::map<ExprKind, size_t> op_counts;
+};
+
+/// Computes the output type of `expr` under `schema`. TypeError on any
+/// ill-typed application; NotFound for unknown inputs.
+Result<Type> TypeOf(const Expr& expr, const Schema& schema);
+
+/// Full analysis (type + fragment measures). If `node_types` is non-null it
+/// receives the inferred type of every AST node (keyed by node pointer) —
+/// the basis of ExplainExpr.
+Result<ExprAnalysis> AnalyzeExpr(
+    const Expr& expr, const Schema& schema,
+    std::map<const ExprNode*, Type>* node_types = nullptr);
+
+/// OK iff `expr` lies in BALG^k under `schema` (every subexpression type has
+/// bag nesting ≤ k). Unsupported with an explanatory message otherwise.
+Status CheckFragment(const Expr& expr, const Schema& schema, int k);
+
+/// OK iff `expr` lies in BALG¹: BALG^1 *and* uses none of P, P_b, δ (which
+/// are undefined on unnested types; §4).
+Status CheckBalg1(const Expr& expr, const Schema& schema);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_ALGEBRA_TYPECHECK_H_

@@ -1,0 +1,68 @@
+#ifndef BAGALG_ANALYSIS_COUNT_ANALYSIS_H_
+#define BAGALG_ANALYSIS_COUNT_ANALYSIS_H_
+
+/// \file count_analysis.h
+/// The Proposition 4.1 abstract interpreter.
+///
+/// The paper's inexpressibility proofs for BALG¹ (Prop 4.1: ε and − are not
+/// derivable without nesting; Prop 4.5: bag-even is not expressible) rest
+/// on a claim: for every BALG¹ expression e and tuple t there are N_t and a
+/// polynomial P_t with integer coefficients such that for every n > N_t,
+/// the number of occurrences of t in e(B_n) equals P_t(n), where B_n holds
+/// exactly n copies of the tuple [a]. Moreover k0 = 0 whenever t mentions a.
+///
+/// AnalyzeCounts executes that induction as an abstract interpretation,
+/// returning the (P_t, N_t) map. The test suite validates it against the
+/// concrete evaluator — a mechanized check of the paper's central lemma —
+/// and the bench uses it to show bag-even's count function violates the
+/// polynomial abstraction (Prop 4.5).
+
+#include <map>
+#include <string>
+
+#include "src/algebra/expr.h"
+#include "src/analysis/polynomial.h"
+#include "src/core/value.h"
+#include "src/util/result.h"
+
+namespace bagalg::analysis {
+
+/// The count abstraction of one tuple: its count in e(B_n) equals
+/// poly(n) for every n >= valid_from.
+struct CountFunction {
+  Polynomial poly;
+  BigNat valid_from;
+};
+
+/// Counts for every tuple with a nonzero polynomial (absent = identically
+/// zero beyond its N).
+struct CountAnalysis {
+  std::map<Value, CountFunction> counts;
+
+  /// A floor below which even *untracked* tuples (identically zero beyond
+  /// their N) may disagree with their zero default — raised whenever a
+  /// monus or ε step eliminates a tuple.
+  BigNat zero_floor;
+
+  /// Lookup with a zero default.
+  CountFunction CountOf(const Value& t) const;
+
+  /// The max valid_from across all tracked tuples and the zero floor
+  /// (a uniform N for the whole expression).
+  BigNat UniformValidFrom() const;
+};
+
+/// Runs the Prop 4.1 induction on `e` over the input family
+/// B_n = n · [a_atom] bound to the input name `input_name`.
+///
+/// Supported operators: the claim's grammar — ⊎, −, ×, MAP, σ, plus β of a
+/// closed object, bag constants — together with ∪ and ∩ (expanded through
+/// the §3 monus identities) and ε (the extra induction step of Prop 4.5).
+/// Anything else (P, δ, fixpoints, other inputs) is Unsupported.
+Result<CountAnalysis> AnalyzeCounts(const Expr& e,
+                                    const std::string& input_name,
+                                    const Value& a_atom);
+
+}  // namespace bagalg::analysis
+
+#endif  // BAGALG_ANALYSIS_COUNT_ANALYSIS_H_

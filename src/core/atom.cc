@@ -1,0 +1,34 @@
+#include "src/core/atom.h"
+
+namespace bagalg {
+
+AtomId AtomTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  AtomId id = static_cast<AtomId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<AtomId> AtomTable::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string AtomTable::NameOf(AtomId id) const {
+  if (id < names_.size()) return names_[id];
+  return "#" + std::to_string(id);
+}
+
+AtomTable& GlobalAtomTable() {
+  static AtomTable* table = new AtomTable();
+  return *table;
+}
+
+AtomId GlobalAtom(std::string_view name) {
+  return GlobalAtomTable().Intern(name);
+}
+
+}  // namespace bagalg

@@ -1,0 +1,61 @@
+#ifndef BAGALG_CORE_ATOM_H_
+#define BAGALG_CORE_ATOM_H_
+
+/// \file atom.h
+/// Atomic constants of the paper's type U.
+///
+/// The domain of U is an infinite set of uninterpreted constants (paper §2).
+/// bagalg represents a constant as an opaque 32-bit AtomId; the AtomTable
+/// maps ids to printable names for I/O. Queries must be generic (insensitive
+/// to isomorphisms of the database, §2), which the engine guarantees
+/// structurally: no algebra operation ever inspects anything about an atom
+/// other than its identity — names exist only at the I/O boundary.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bagalg {
+
+/// Identity of an atomic constant.
+using AtomId = uint32_t;
+
+/// Bidirectional mapping between atom ids and their printable names.
+///
+/// Interning is append-only; ids are dense starting at 0. Not thread-safe;
+/// bagalg evaluation is single-threaded by design (the complexity
+/// experiments measure sequential work).
+class AtomTable {
+ public:
+  AtomTable() = default;
+
+  /// Returns the id for `name`, interning it on first use.
+  AtomId Intern(std::string_view name);
+
+  /// Returns the id for `name` if already interned.
+  std::optional<AtomId> Find(std::string_view name) const;
+
+  /// Returns the name of an id; "#<id>" if the id was never interned here
+  /// (so printing never fails, even across tables).
+  std::string NameOf(AtomId id) const;
+
+  /// Number of interned atoms.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AtomId> ids_;
+};
+
+/// Process-wide default table used by printers when none is supplied.
+AtomTable& GlobalAtomTable();
+
+/// Convenience: interns `name` in the global table.
+AtomId GlobalAtom(std::string_view name);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_CORE_ATOM_H_

@@ -1,0 +1,355 @@
+#include "src/core/bag_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace bagalg {
+
+namespace {
+
+/// Merge-walks two canonical entry lists, combining multiplicities with
+/// `combine` (absent elements contribute multiplicity 0) and keeping only
+/// positive results.
+Result<Bag> MergeCombine(const Bag& a, const Bag& b,
+                         Mult (*combine)(const Mult&, const Mult&)) {
+  BAGALG_ASSIGN_OR_RETURN(Type elem,
+                          Type::Join(a.element_type(), b.element_type()));
+  Bag::Builder builder(elem);
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  const Mult zero;
+  size_t i = 0, j = 0;
+  while (i < ea.size() || j < eb.size()) {
+    int c;
+    if (i == ea.size()) {
+      c = 1;
+    } else if (j == eb.size()) {
+      c = -1;
+    } else {
+      c = ea[i].value.Compare(eb[j].value);
+    }
+    if (c < 0) {
+      builder.Add(ea[i].value, combine(ea[i].count, zero));
+      ++i;
+    } else if (c > 0) {
+      builder.Add(eb[j].value, combine(zero, eb[j].count));
+      ++j;
+    } else {
+      builder.Add(ea[i].value, combine(ea[i].count, eb[j].count));
+      ++i;
+      ++j;
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Mult CombineAdd(const Mult& p, const Mult& q) { return p + q; }
+Mult CombineMonus(const Mult& p, const Mult& q) { return p.MonusSub(q); }
+Mult CombineMax(const Mult& p, const Mult& q) { return Mult::Max(p, q); }
+Mult CombineMin(const Mult& p, const Mult& q) { return Mult::Min(p, q); }
+
+/// Binomial coefficient C(n, k) with BigNat n and machine k.
+/// Used by the powerbag's occurrence counting.
+Mult Binomial(const Mult& n, uint64_t k) {
+  // C(n, k) = Π_{i=1..k} (n - k + i) / i, computed with exact division by
+  // keeping the running product divisible at every step.
+  Mult num(1);
+  Mult base = n.MonusSub(Mult(k));
+  for (uint64_t i = 1; i <= k; ++i) {
+    num = num * (base + Mult(i));
+    auto dm = num.DivMod(Mult(i));
+    assert(dm.ok() && dm->remainder.IsZero());
+    num = std::move(dm->quotient);
+  }
+  return num;
+}
+
+}  // namespace
+
+Status CheckDistinctLimit(uint64_t distinct, const Limits& limits) {
+  if (limits.max_distinct != 0 && distinct > limits.max_distinct) {
+    return Status::ResourceExhausted(
+        "bag would hold " + std::to_string(distinct) +
+        " distinct elements (limit " + std::to_string(limits.max_distinct) +
+        ")");
+  }
+  return Status::Ok();
+}
+
+Status CheckMultLimit(const Mult& m, const Limits& limits) {
+  if (limits.max_mult_bits != 0 && m.BitLength() > limits.max_mult_bits) {
+    return Status::ResourceExhausted(
+        "multiplicity of " + std::to_string(m.BitLength()) +
+        " bits exceeds limit of " + std::to_string(limits.max_mult_bits) +
+        " bits");
+  }
+  return Status::Ok();
+}
+
+Result<Bag> AdditiveUnion(const Bag& a, const Bag& b) {
+  return MergeCombine(a, b, &CombineAdd);
+}
+
+Result<Bag> Subtract(const Bag& a, const Bag& b) {
+  return MergeCombine(a, b, &CombineMonus);
+}
+
+Result<Bag> MaxUnion(const Bag& a, const Bag& b) {
+  return MergeCombine(a, b, &CombineMax);
+}
+
+Result<Bag> Intersect(const Bag& a, const Bag& b) {
+  return MergeCombine(a, b, &CombineMin);
+}
+
+Result<Bag> CartesianProduct(const Bag& a, const Bag& b,
+                             const Limits& limits) {
+  for (const Bag* operand : {&a, &b}) {
+    if (!operand->empty() && !operand->element_type().IsTuple()) {
+      return Status::InvalidArgument(
+          "Cartesian product requires bags of tuples, got element type " +
+          operand->element_type().ToString());
+    }
+  }
+  BAGALG_RETURN_IF_ERROR(CheckDistinctLimit(
+      static_cast<uint64_t>(a.DistinctCount()) * b.DistinctCount(), limits));
+  Bag::Builder builder;
+  for (const BagEntry& ea : a.entries()) {
+    for (const BagEntry& eb : b.entries()) {
+      std::vector<Value> fields = ea.value.fields();
+      const auto& bf = eb.value.fields();
+      fields.insert(fields.end(), bf.begin(), bf.end());
+      Mult count = ea.count * eb.count;
+      BAGALG_RETURN_IF_ERROR(CheckMultLimit(count, limits));
+      builder.Add(Value::Tuple(std::move(fields)), std::move(count));
+    }
+  }
+  // Preserve a typed-empty result where possible.
+  if (a.empty() || b.empty()) {
+    Type elem = Type::Bottom();
+    if (a.element_type().IsTuple() && b.element_type().IsTuple()) {
+      std::vector<Type> fields = a.element_type().fields();
+      const auto& bf = b.element_type().fields();
+      fields.insert(fields.end(), bf.begin(), bf.end());
+      elem = Type::Tuple(std::move(fields));
+    }
+    return Bag(std::move(elem));
+  }
+  return std::move(builder).Build();
+}
+
+namespace {
+
+/// Shared subbag enumerator for powerset / powerbag. Enumerates every
+/// distinct subbag of `bag`; for each, `emit(sub_entries)` is called with
+/// the chosen per-entry multiplicities (parallel to bag.entries(); zero
+/// entries allowed in the vector, they are skipped when materializing).
+Status ForEachSubbag(
+    const Bag& bag, const Limits& limits,
+    const std::function<Status(const std::vector<uint64_t>&)>& emit) {
+  const auto& entries = bag.entries();
+  // Pre-check the number of distinct subbags: Π (m_i + 1).
+  if (limits.max_powerset_results != 0) {
+    Mult total(1);
+    const Mult cap(limits.max_powerset_results);
+    for (const BagEntry& e : entries) {
+      total = total * (e.count + Mult(1));
+      if (total > cap) {
+        return Status::ResourceExhausted(
+            "powerset would enumerate more than " +
+            std::to_string(limits.max_powerset_results) +
+            " distinct subbags");
+      }
+    }
+  }
+  // All m_i now fit comfortably in uint64 (each m_i + 1 ≤ cap).
+  std::vector<uint64_t> maxima(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    auto m = entries[i].count.ToUint64();
+    if (!m.ok()) {
+      return Status::ResourceExhausted(
+          "powerset operand multiplicity exceeds enumerable range");
+    }
+    maxima[i] = *m;
+  }
+  std::vector<uint64_t> chosen(entries.size(), 0);
+  while (true) {
+    BAGALG_RETURN_IF_ERROR(emit(chosen));
+    // Odometer increment.
+    size_t pos = 0;
+    while (pos < chosen.size() && chosen[pos] == maxima[pos]) {
+      chosen[pos] = 0;
+      ++pos;
+    }
+    if (pos == chosen.size()) return Status::Ok();
+    ++chosen[pos];
+  }
+}
+
+/// Materializes a subbag from per-entry chosen multiplicities.
+Result<Value> MaterializeSubbag(const Bag& bag,
+                                const std::vector<uint64_t>& chosen) {
+  Bag::Builder builder(bag.element_type());
+  const auto& entries = bag.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (chosen[i] != 0) builder.Add(entries[i].value, Mult(chosen[i]));
+  }
+  BAGALG_ASSIGN_OR_RETURN(Bag sub, std::move(builder).Build());
+  return Value::FromBag(std::move(sub));
+}
+
+}  // namespace
+
+Result<Bag> Powerset(const Bag& bag, const Limits& limits) {
+  Bag::Builder builder(bag.type());
+  Status st = ForEachSubbag(
+      bag, limits, [&](const std::vector<uint64_t>& chosen) -> Status {
+        auto sub = MaterializeSubbag(bag, chosen);
+        if (!sub.ok()) return sub.status();
+        builder.Add(std::move(sub).value(), Mult(1));
+        return Status::Ok();
+      });
+  BAGALG_RETURN_IF_ERROR(st);
+  return std::move(builder).Build();
+}
+
+Result<Bag> Powerbag(const Bag& bag, const Limits& limits) {
+  const auto& entries = bag.entries();
+  Bag::Builder builder(bag.type());
+  Status st = ForEachSubbag(
+      bag, limits, [&](const std::vector<uint64_t>& chosen) -> Status {
+        Mult occurrences(1);
+        for (size_t i = 0; i < entries.size(); ++i) {
+          occurrences = occurrences * Binomial(entries[i].count, chosen[i]);
+        }
+        Status mult_ok = CheckMultLimit(occurrences, limits);
+        if (!mult_ok.ok()) return mult_ok;
+        auto sub = MaterializeSubbag(bag, chosen);
+        if (!sub.ok()) return sub.status();
+        builder.Add(std::move(sub).value(), std::move(occurrences));
+        return Status::Ok();
+      });
+  BAGALG_RETURN_IF_ERROR(st);
+  return std::move(builder).Build();
+}
+
+Result<Bag> BagDestroy(const Bag& bag, const Limits& limits) {
+  if (!bag.empty() && !bag.element_type().IsBag()) {
+    return Status::InvalidArgument(
+        "bag-destroy requires a bag of bags, got element type " +
+        bag.element_type().ToString());
+  }
+  Type inner_elem = bag.element_type().IsBag()
+                        ? bag.element_type().element()
+                        : Type::Bottom();
+  Bag::Builder builder(inner_elem);
+  uint64_t distinct_bound = 0;
+  for (const BagEntry& e : bag.entries()) {
+    distinct_bound += e.value.bag().DistinctCount();
+    BAGALG_RETURN_IF_ERROR(CheckDistinctLimit(distinct_bound, limits));
+    for (const BagEntry& inner : e.value.bag().entries()) {
+      Mult count = inner.count * e.count;
+      BAGALG_RETURN_IF_ERROR(CheckMultLimit(count, limits));
+      builder.Add(inner.value, std::move(count));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Bag> DupElim(const Bag& bag) {
+  Bag::Builder builder(bag.element_type());
+  for (const BagEntry& e : bag.entries()) {
+    builder.Add(e.value, Mult(1));
+  }
+  return std::move(builder).Build();
+}
+
+Result<Bag> MapBag(const Bag& bag,
+                   const std::function<Result<Value>(const Value&)>& fn,
+                   const Type& declared_result_elem) {
+  Bag::Builder builder(declared_result_elem);
+  for (const BagEntry& e : bag.entries()) {
+    BAGALG_ASSIGN_OR_RETURN(Value image, fn(e.value));
+    builder.Add(std::move(image), e.count);
+  }
+  return std::move(builder).Build();
+}
+
+Result<Bag> SelectBag(const Bag& bag,
+                      const std::function<Result<bool>(const Value&)>& pred) {
+  Bag::Builder builder(bag.element_type());
+  for (const BagEntry& e : bag.entries()) {
+    BAGALG_ASSIGN_OR_RETURN(bool keep, pred(e.value));
+    if (keep) builder.Add(e.value, e.count);
+  }
+  return std::move(builder).Build();
+}
+
+Result<Bag> Nest(const Bag& bag, const std::vector<size_t>& nested_attrs) {
+  if (!bag.empty() && !bag.element_type().IsTuple()) {
+    return Status::InvalidArgument("nest requires a bag of tuples");
+  }
+  size_t arity =
+      bag.element_type().IsTuple() ? bag.element_type().fields().size() : 0;
+  std::vector<bool> is_nested(arity, false);
+  for (size_t a : nested_attrs) {
+    if (a >= arity) {
+      return Status::InvalidArgument("nest attribute index out of range");
+    }
+    is_nested[a] = true;
+  }
+  // Group by the key (non-nested attributes), accumulating the nested
+  // projections with their multiplicities.
+  std::map<std::vector<Value>, Bag::Builder> groups;
+  for (const BagEntry& e : bag.entries()) {
+    const auto& fields = e.value.fields();
+    std::vector<Value> key;
+    std::vector<Value> nested;
+    for (size_t i = 0; i < arity; ++i) {
+      (is_nested[i] ? nested : key).push_back(fields[i]);
+    }
+    groups[std::move(key)].Add(Value::Tuple(std::move(nested)), e.count);
+  }
+  Bag::Builder out;
+  for (auto& [key, group_builder] : groups) {
+    BAGALG_ASSIGN_OR_RETURN(Bag group, std::move(group_builder).Build());
+    std::vector<Value> fields = key;
+    fields.push_back(Value::FromBag(std::move(group)));
+    out.Add(Value::Tuple(std::move(fields)), Mult(1));
+  }
+  return std::move(out).Build();
+}
+
+Result<Bag> Unnest(const Bag& bag, size_t attr, const Limits& limits) {
+  if (!bag.empty() && !bag.element_type().IsTuple()) {
+    return Status::InvalidArgument("unnest requires a bag of tuples");
+  }
+  Bag::Builder out;
+  uint64_t distinct_bound = 0;
+  for (const BagEntry& e : bag.entries()) {
+    const auto& fields = e.value.fields();
+    if (attr >= fields.size()) {
+      return Status::InvalidArgument("unnest attribute index out of range");
+    }
+    if (!fields[attr].IsBag()) {
+      return Status::InvalidArgument("unnest attribute is not a bag");
+    }
+    const Bag& inner = fields[attr].bag();
+    distinct_bound += inner.DistinctCount();
+    BAGALG_RETURN_IF_ERROR(CheckDistinctLimit(distinct_bound, limits));
+    for (const BagEntry& ie : inner.entries()) {
+      std::vector<Value> new_fields;
+      new_fields.reserve(fields.size());
+      for (size_t i = 0; i < fields.size(); ++i) {
+        new_fields.push_back(i == attr ? ie.value : fields[i]);
+      }
+      Mult count = e.count * ie.count;
+      BAGALG_RETURN_IF_ERROR(CheckMultLimit(count, limits));
+      out.Add(Value::Tuple(std::move(new_fields)), std::move(count));
+    }
+  }
+  return std::move(out).Build();
+}
+
+}  // namespace bagalg

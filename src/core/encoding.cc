@@ -1,0 +1,80 @@
+#include "src/core/encoding.h"
+
+namespace bagalg {
+
+BigNat StandardEncodingSize(const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::kAtom:
+      return BigNat(1);
+    case Value::Kind::kTuple: {
+      BigNat total(1);
+      for (const Value& f : value.fields()) total += StandardEncodingSize(f);
+      return total;
+    }
+    case Value::Kind::kBag:
+      return StandardEncodingSize(value.bag()) + BigNat(1);
+  }
+  return BigNat();
+}
+
+BigNat StandardEncodingSize(const Bag& bag) {
+  BigNat total;
+  for (const BagEntry& e : bag.entries()) {
+    total += e.count * StandardEncodingSize(e.value);
+  }
+  return total;
+}
+
+uint64_t CountedEncodingSize(const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::kAtom:
+      return 1;
+    case Value::Kind::kTuple: {
+      uint64_t total = 1;
+      for (const Value& f : value.fields()) total += CountedEncodingSize(f);
+      return total;
+    }
+    case Value::Kind::kBag:
+      return CountedEncodingSize(value.bag()) + 1;
+  }
+  return 0;
+}
+
+uint64_t CountedEncodingSize(const Bag& bag) {
+  uint64_t total = 0;
+  for (const BagEntry& e : bag.entries()) {
+    total += CountedEncodingSize(e.value);
+    total += e.count.LimbCount() == 0 ? 1 : e.count.LimbCount();
+  }
+  return total;
+}
+
+BigNat MaxMultiplicity(const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::kAtom:
+      return BigNat();
+    case Value::Kind::kTuple: {
+      BigNat best;
+      for (const Value& f : value.fields()) {
+        BigNat m = MaxMultiplicity(f);
+        if (m > best) best = std::move(m);
+      }
+      return best;
+    }
+    case Value::Kind::kBag:
+      return MaxMultiplicity(value.bag());
+  }
+  return BigNat();
+}
+
+BigNat MaxMultiplicity(const Bag& bag) {
+  BigNat best;
+  for (const BagEntry& e : bag.entries()) {
+    if (e.count > best) best = e.count;
+    BigNat inner = MaxMultiplicity(e.value);
+    if (inner > best) best = std::move(inner);
+  }
+  return best;
+}
+
+}  // namespace bagalg

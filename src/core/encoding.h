@@ -1,0 +1,41 @@
+#ifndef BAGALG_CORE_ENCODING_H_
+#define BAGALG_CORE_ENCODING_H_
+
+/// \file encoding.h
+/// Size measures for values and bags.
+///
+/// The paper's data complexity is defined against the *standard encoding*
+/// (§2): duplicates are written out explicitly, so a bag's size is the sum
+/// over elements of multiplicity × element size. The engine stores bags in
+/// counted form; these functions recover the paper's measure (and the
+/// counted measure, for the §3 representation-ablation experiment E19)
+/// without materializing the explicit encoding.
+
+#include "src/core/value.h"
+#include "src/util/bignat.h"
+
+namespace bagalg {
+
+/// Size of the paper's standard encoding of a value: atoms weigh 1; a tuple
+/// weighs 1 plus its fields; a bag weighs 1 plus multiplicity-weighted
+/// element sizes. BigNat because multiplicities may be astronomical.
+BigNat StandardEncodingSize(const Value& value);
+
+/// Standard-encoding size of a bag (as if it were the database).
+BigNat StandardEncodingSize(const Bag& bag);
+
+/// Size of the counted representation actually stored: like the standard
+/// encoding but each (element, multiplicity) entry costs element size plus
+/// the limb count of the multiplicity, independent of its magnitude.
+uint64_t CountedEncodingSize(const Value& value);
+uint64_t CountedEncodingSize(const Bag& bag);
+
+/// The largest multiplicity appearing anywhere inside the value/bag
+/// (including nested bags); 0 for bag-free values. This is the quantity
+/// Proposition 3.2 tracks.
+BigNat MaxMultiplicity(const Value& value);
+BigNat MaxMultiplicity(const Bag& bag);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_CORE_ENCODING_H_

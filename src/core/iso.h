@@ -1,0 +1,56 @@
+#ifndef BAGALG_CORE_ISO_H_
+#define BAGALG_CORE_ISO_H_
+
+/// \file iso.h
+/// Database isomorphisms (paper §2).
+///
+/// Queries must be generic: insensitive to isomorphisms of the database,
+/// where an isomorphism is a bijection on atomic constants extended
+/// componentwise to tuples and multiplicity-preservingly to bags. This
+/// module applies atom renamings to values/bags and generates random
+/// permutations, so property tests can verify genericity of every operator
+/// and derived query.
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/value.h"
+#include "src/util/rng.h"
+
+namespace bagalg {
+
+/// A (partial) renaming of atoms; ids absent from the map are fixed points.
+class Isomorphism {
+ public:
+  Isomorphism() = default;
+
+  /// Adds the mapping from -> to. Later additions override earlier ones.
+  void Map(AtomId from, AtomId to) { mapping_[from] = to; }
+
+  /// Image of an atom (identity when unmapped).
+  AtomId Apply(AtomId id) const;
+
+  /// Applies the renaming recursively to a value / bag.
+  Value Apply(const Value& value) const;
+  Result<Bag> Apply(const Bag& bag) const;
+
+  /// The inverse renaming (requires injectivity on the mapped ids; asserts
+  /// in debug builds otherwise).
+  Isomorphism Inverse() const;
+
+  /// A uniformly random permutation of `atoms`.
+  static Isomorphism RandomPermutation(const std::vector<AtomId>& atoms,
+                                       Rng& rng);
+
+ private:
+  std::unordered_map<AtomId, AtomId> mapping_;
+};
+
+/// Collects every atom id occurring in a value / bag.
+void CollectAtoms(const Value& value, std::unordered_set<AtomId>* out);
+void CollectAtoms(const Bag& bag, std::unordered_set<AtomId>* out);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_CORE_ISO_H_

@@ -1,0 +1,347 @@
+#include "src/core/value.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bagalg {
+
+namespace {
+
+size_t CombineHash(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+const Mult& ZeroMult() {
+  static const Mult* zero = new Mult();
+  return *zero;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Value::Rep
+
+struct Value::Rep {
+  Value::Kind kind;
+  AtomId atom = 0;
+  std::vector<Value> fields;
+  // Bag payload stored via pointer to keep Rep constructible before Bag is
+  // complete at declaration time and to avoid a recursive by-value member.
+  std::shared_ptr<const Bag> bag;
+  Type type;
+  size_t hash = 0;
+};
+
+// ------------------------------------------------------------------ Bag::Rep
+
+struct Bag::Rep {
+  Type element_type = Type::Bottom();
+  std::vector<BagEntry> entries;
+  Mult total;
+  size_t hash = 0;
+};
+
+namespace {
+
+const std::shared_ptr<const Bag::Rep>& EmptyBagRep() {
+  static auto rep = [] {
+    auto r = std::make_shared<Bag::Rep>();
+    r->hash = 0x90u;
+    return std::shared_ptr<const Bag::Rep>(std::move(r));
+  }();
+  return rep;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------- Value
+
+Value::Value() : Value(Tuple({})) {}
+
+Value Value::Atom(AtomId id) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kAtom;
+  rep->atom = id;
+  rep->type = Type::Atom();
+  rep->hash = CombineHash(0xa70u, id);
+  return Value(std::move(rep));
+}
+
+Value Value::Tuple(std::vector<Value> fields) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kTuple;
+  size_t h = 0x70u;
+  std::vector<Type> field_types;
+  field_types.reserve(fields.size());
+  for (const Value& f : fields) {
+    h = CombineHash(h, f.Hash());
+    field_types.push_back(f.type());
+  }
+  rep->fields = std::move(fields);
+  rep->type = Type::Tuple(std::move(field_types));
+  rep->hash = h;
+  return Value(std::move(rep));
+}
+
+Value Value::FromBag(Bag bag) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kBag;
+  rep->hash = CombineHash(0xb0u, bag.Hash());
+  rep->type = bag.type();
+  rep->bag = std::make_shared<const Bag>(std::move(bag));
+  return Value(std::move(rep));
+}
+
+Value::Kind Value::kind() const { return rep_->kind; }
+
+AtomId Value::atom_id() const {
+  assert(IsAtom());
+  return rep_->atom;
+}
+
+const std::vector<Value>& Value::fields() const {
+  assert(IsTuple());
+  return rep_->fields;
+}
+
+const Bag& Value::bag() const {
+  assert(IsBag());
+  return *rep_->bag;
+}
+
+const Type& Value::type() const { return rep_->type; }
+
+size_t Value::Hash() const { return rep_->hash; }
+
+int Value::Compare(const Value& other) const {
+  if (rep_ == other.rep_) return 0;
+  if (kind() != other.kind()) {
+    return static_cast<int>(kind()) < static_cast<int>(other.kind()) ? -1 : 1;
+  }
+  switch (kind()) {
+    case Kind::kAtom:
+      if (atom_id() != other.atom_id()) {
+        return atom_id() < other.atom_id() ? -1 : 1;
+      }
+      return 0;
+    case Kind::kTuple: {
+      const auto& a = fields();
+      const auto& b = other.fields();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+      return 0;
+    }
+    case Kind::kBag:
+      return bag().Compare(other.bag());
+  }
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (rep_ == other.rep_) return true;
+  if (rep_->hash != other.rep_->hash) return false;
+  return Compare(other) == 0;
+}
+
+std::string Value::ToString(const AtomTable* table) const {
+  const AtomTable& t = table != nullptr ? *table : GlobalAtomTable();
+  switch (kind()) {
+    case Kind::kAtom:
+      return t.NameOf(atom_id());
+    case Kind::kTuple: {
+      std::string out = "[";
+      for (size_t i = 0; i < fields().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += fields()[i].ToString(table);
+      }
+      out += "]";
+      return out;
+    }
+    case Kind::kBag:
+      return bag().ToString(table);
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------------------- Bag
+
+Bag::Bag() : rep_(EmptyBagRep()) {}
+
+Bag::Bag(Type element_type) {
+  auto rep = std::make_shared<Rep>();
+  rep->element_type = std::move(element_type);
+  rep->hash = 0x90u;
+  rep_ = std::move(rep);
+}
+
+void Bag::Builder::Add(Value value, Mult count) {
+  if (count.IsZero()) return;
+  items_.push_back(BagEntry{std::move(value), std::move(count)});
+}
+
+void Bag::Builder::AddBag(const Bag& bag, const Mult& factor) {
+  if (factor.IsZero()) return;
+  for (const BagEntry& e : bag.entries()) {
+    Add(e.value, e.count * factor);
+  }
+}
+
+Result<Bag> Bag::Builder::Build() && {
+  std::sort(items_.begin(), items_.end(),
+            [](const BagEntry& a, const BagEntry& b) {
+              return a.value.Compare(b.value) < 0;
+            });
+  auto rep = std::make_shared<Rep>();
+  Type elem = declared_;
+  Mult total;
+  size_t h = 0x90u;
+  for (BagEntry& item : items_) {
+    BAGALG_ASSIGN_OR_RETURN(elem, Type::Join(elem, item.value.type()));
+    if (!rep->entries.empty() && rep->entries.back().value == item.value) {
+      rep->entries.back().count += item.count;
+    } else {
+      rep->entries.push_back(std::move(item));
+    }
+  }
+  for (const BagEntry& e : rep->entries) {
+    total += e.count;
+    h = CombineHash(h, CombineHash(e.value.Hash(), e.count.Hash()));
+  }
+  rep->element_type = std::move(elem);
+  rep->total = std::move(total);
+  rep->hash = h;
+  items_.clear();
+  return Bag(std::move(rep));
+}
+
+const Type& Bag::element_type() const { return rep_->element_type; }
+
+const std::vector<BagEntry>& Bag::entries() const { return rep_->entries; }
+
+const Mult& Bag::TotalCount() const { return rep_->total; }
+
+bool Bag::IsSetLike() const {
+  for (const BagEntry& e : entries()) {
+    if (!e.count.IsOne()) return false;
+  }
+  return true;
+}
+
+Mult Bag::CountOf(const Value& value) const {
+  const auto& es = entries();
+  auto it = std::lower_bound(es.begin(), es.end(), value,
+                             [](const BagEntry& e, const Value& v) {
+                               return e.value.Compare(v) < 0;
+                             });
+  if (it != es.end() && it->value == value) return it->count;
+  return ZeroMult();
+}
+
+bool Bag::SubBagOf(const Bag& other) const {
+  // Merge-walk both canonical entry lists.
+  const auto& a = entries();
+  const auto& b = other.entries();
+  size_t i = 0, j = 0;
+  while (i < a.size()) {
+    if (j == b.size()) return false;
+    int c = a[i].value.Compare(b[j].value);
+    if (c < 0) return false;  // element of a missing from b
+    if (c > 0) {
+      ++j;
+      continue;
+    }
+    if (a[i].count > b[j].count) return false;
+    ++i;
+    ++j;
+  }
+  return true;
+}
+
+size_t Bag::Hash() const { return rep_->hash; }
+
+int Bag::Compare(const Bag& other) const {
+  if (rep_ == other.rep_) return 0;
+  const auto& a = entries();
+  const auto& b = other.entries();
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].value.Compare(b[i].value);
+    if (c != 0) return c;
+    c = a[i].count.Compare(b[i].count);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+bool Bag::operator==(const Bag& other) const {
+  if (rep_ == other.rep_) return true;
+  if (rep_->hash != other.rep_->hash) return false;
+  return Compare(other) == 0;
+}
+
+std::string Bag::ToString(const AtomTable* table) const {
+  std::string out = "{{";
+  bool first = true;
+  for (const BagEntry& e : entries()) {
+    if (!first) out += ", ";
+    first = false;
+    out += e.value.ToString(table);
+    if (!e.count.IsOne()) {
+      out += "*";
+      out += e.count.ToString();
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const Bag& bag) {
+  return os << bag.ToString();
+}
+
+// -------------------------------------------------------------- Convenience
+
+Value MakeAtom(std::string_view name, AtomTable* table) {
+  AtomTable& t = table != nullptr ? *table : GlobalAtomTable();
+  return Value::Atom(t.Intern(name));
+}
+
+Value MakeTuple(std::initializer_list<Value> fields) {
+  return Value::Tuple(std::vector<Value>(fields));
+}
+
+Bag MakeBag(std::initializer_list<std::pair<Value, uint64_t>> items) {
+  Bag::Builder builder;
+  for (const auto& [value, count] : items) {
+    builder.Add(value, Mult(count));
+  }
+  auto result = std::move(builder).Build();
+  assert(result.ok() && "MakeBag: inhomogeneous bag literal");
+  return std::move(result).value();
+}
+
+Bag MakeBagOf(std::initializer_list<Value> values) {
+  Bag::Builder builder;
+  for (const Value& v : values) builder.AddOne(v);
+  auto result = std::move(builder).Build();
+  assert(result.ok() && "MakeBagOf: inhomogeneous bag literal");
+  return std::move(result).value();
+}
+
+Bag NCopies(const Mult& n, const Value& value) {
+  Bag::Builder builder;
+  builder.Add(value, n);
+  auto result = std::move(builder).Build();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace bagalg

@@ -1,0 +1,99 @@
+#include "src/exec/compile.h"
+
+namespace bagalg::exec {
+
+namespace {
+
+/// OK iff the lambda body is object-level (the pipeline fragment).
+Status CheckLambdaBody(const Expr& body) {
+  const ExprNode& n = body.node();
+  switch (n.kind) {
+    case ExprKind::kVar:
+      if (n.index != 0) {
+        return Status::Unsupported("nested binder in pipeline lambda");
+      }
+      return Status::Ok();
+    case ExprKind::kConst:
+      return Status::Ok();
+    case ExprKind::kTupling:
+    case ExprKind::kAttrProj: {
+      for (const Expr& c : n.children) {
+        BAGALG_RETURN_IF_ERROR(CheckLambdaBody(c));
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status::Unsupported(
+          std::string("operator ") + ExprKindName(n.kind) +
+          " in a lambda body is outside the pipeline fragment");
+  }
+}
+
+Result<OperatorPtr> Compile(const Expr& expr, const Database& db) {
+  const ExprNode& n = expr.node();
+  switch (n.kind) {
+    case ExprKind::kInput: {
+      BAGALG_ASSIGN_OR_RETURN(Bag bag, db.Get(n.name));
+      return MakeScan(std::move(bag));
+    }
+    case ExprKind::kConst: {
+      if (!n.literal->IsBag()) {
+        return Status::Unsupported("non-bag constant at pipeline root");
+      }
+      return MakeScan(n.literal->bag());
+    }
+    case ExprKind::kAdditiveUnion: {
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr l, Compile(n.children[0], db));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr r, Compile(n.children[1], db));
+      return MakeUnionAll(std::move(l), std::move(r));
+    }
+    case ExprKind::kSubtract:
+    case ExprKind::kMaxUnion:
+    case ExprKind::kIntersect: {
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr l, Compile(n.children[0], db));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr r, Compile(n.children[1], db));
+      MergeKind kind = n.kind == ExprKind::kSubtract ? MergeKind::kMonus
+                       : n.kind == ExprKind::kMaxUnion
+                           ? MergeKind::kMaxUnion
+                           : MergeKind::kIntersect;
+      return MakeMerge(kind, std::move(l), std::move(r));
+    }
+    case ExprKind::kProduct: {
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr l, Compile(n.children[0], db));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr r, Compile(n.children[1], db));
+      return MakeNestedLoopProduct(std::move(l), std::move(r));
+    }
+    case ExprKind::kMap: {
+      BAGALG_RETURN_IF_ERROR(CheckLambdaBody(n.children[0]));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr child, Compile(n.children[1], db));
+      return MakeMapProject(std::move(child), n.children[0]);
+    }
+    case ExprKind::kSelect: {
+      BAGALG_RETURN_IF_ERROR(CheckLambdaBody(n.children[0]));
+      BAGALG_RETURN_IF_ERROR(CheckLambdaBody(n.children[1]));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr child, Compile(n.children[2], db));
+      return MakeSelect(std::move(child), n.children[0], n.children[1]);
+    }
+    case ExprKind::kDupElim: {
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr child, Compile(n.children[0], db));
+      return MakeDupElim(std::move(child));
+    }
+    default:
+      return Status::Unsupported(
+          std::string("operator ") + ExprKindName(n.kind) +
+          " is outside the BALG^1 pipeline fragment");
+  }
+}
+
+}  // namespace
+
+Result<OperatorPtr> CompilePipeline(const Expr& expr, const Database& db) {
+  return Compile(expr, db);
+}
+
+Result<Bag> RunPipeline(const Expr& expr, const Database& db) {
+  BAGALG_ASSIGN_OR_RETURN(OperatorPtr root, CompilePipeline(expr, db));
+  return Collect(root.get());
+}
+
+}  // namespace bagalg::exec

@@ -1,0 +1,29 @@
+#ifndef BAGALG_EXEC_COMPILE_H_
+#define BAGALG_EXEC_COMPILE_H_
+
+/// \file compile.h
+/// Compiles BALG¹ expressions into physical operator pipelines.
+///
+/// The supported fragment is exactly the paper's tractable one (§4): no
+/// powerset, no bag-destroy, no fixpoints, no nested-bag construction, and
+/// lambda bodies restricted to object level (τ / α / const / the binder).
+/// Everything else returns Unsupported — callers fall back to the
+/// tree-walking evaluator.
+
+#include "src/algebra/database.h"
+#include "src/algebra/expr.h"
+#include "src/exec/operators.h"
+#include "src/util/result.h"
+
+namespace bagalg::exec {
+
+/// Builds the physical pipeline for `expr` against `db`. Input bags are
+/// bound (copied by shared reference) at compile time.
+Result<OperatorPtr> CompilePipeline(const Expr& expr, const Database& db);
+
+/// Convenience: compile + run to a canonical bag.
+Result<Bag> RunPipeline(const Expr& expr, const Database& db);
+
+}  // namespace bagalg::exec
+
+#endif  // BAGALG_EXEC_COMPILE_H_

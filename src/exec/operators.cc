@@ -1,0 +1,325 @@
+#include "src/exec/operators.h"
+
+#include "src/core/bag_ops.h"
+
+namespace bagalg::exec {
+
+Result<Bag> Collect(Operator* root) {
+  BAGALG_RETURN_IF_ERROR(root->Open());
+  Bag::Builder builder;
+  while (true) {
+    BAGALG_ASSIGN_OR_RETURN(std::optional<Row> row, root->Next());
+    if (!row.has_value()) break;
+    builder.Add(std::move(row->value), std::move(row->count));
+  }
+  root->Close();
+  return std::move(builder).Build();
+}
+
+Result<Value> EvalRowLambda(const Expr& body, const Value& row) {
+  const ExprNode& n = body.node();
+  switch (n.kind) {
+    case ExprKind::kVar:
+      if (n.index != 0) {
+        return Status::Unsupported(
+            "pipeline lambdas support a single binder level");
+      }
+      return row;
+    case ExprKind::kConst:
+      return *n.literal;
+    case ExprKind::kTupling: {
+      std::vector<Value> fields;
+      fields.reserve(n.children.size());
+      for (const Expr& c : n.children) {
+        BAGALG_ASSIGN_OR_RETURN(Value v, EvalRowLambda(c, row));
+        fields.push_back(std::move(v));
+      }
+      return Value::Tuple(std::move(fields));
+    }
+    case ExprKind::kAttrProj: {
+      BAGALG_ASSIGN_OR_RETURN(Value v, EvalRowLambda(n.children[0], row));
+      if (!v.IsTuple() || n.index < 1 || n.index > v.fields().size()) {
+        return Status::InvalidArgument(
+            "bad attribute projection in pipeline lambda");
+      }
+      return v.fields()[n.index - 1];
+    }
+    default:
+      return Status::Unsupported(
+          std::string("operator ") + ExprKindName(n.kind) +
+          " in a lambda body is outside the pipeline fragment");
+  }
+}
+
+namespace {
+
+class ScanOp : public Operator {
+ public:
+  explicit ScanOp(Bag bag) : bag_(std::move(bag)) {}
+
+  Status Open() override {
+    pos_ = 0;
+    return Status::Ok();
+  }
+
+  Result<std::optional<Row>> Next() override {
+    if (pos_ >= bag_.entries().size()) return std::optional<Row>();
+    const BagEntry& e = bag_.entries()[pos_++];
+    return std::optional<Row>(Row{e.value, e.count});
+  }
+
+  void Close() override {}
+  std::string Name() const override { return "scan"; }
+
+ private:
+  Bag bag_;
+  size_t pos_ = 0;
+};
+
+class SelectOp : public Operator {
+ public:
+  SelectOp(OperatorPtr child, Expr lhs, Expr rhs)
+      : child_(std::move(child)), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<std::optional<Row>> Next() override {
+    while (true) {
+      BAGALG_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+      if (!row.has_value()) return row;
+      BAGALG_ASSIGN_OR_RETURN(Value l, EvalRowLambda(lhs_, row->value));
+      BAGALG_ASSIGN_OR_RETURN(Value r, EvalRowLambda(rhs_, row->value));
+      if (l == r) return row;
+    }
+  }
+
+  void Close() override { child_->Close(); }
+  std::string Name() const override { return "select"; }
+
+ private:
+  OperatorPtr child_;
+  Expr lhs_;
+  Expr rhs_;
+};
+
+class MapProjectOp : public Operator {
+ public:
+  MapProjectOp(OperatorPtr child, Expr body)
+      : child_(std::move(child)), body_(std::move(body)) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<std::optional<Row>> Next() override {
+    BAGALG_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+    if (!row.has_value()) return row;
+    BAGALG_ASSIGN_OR_RETURN(Value image, EvalRowLambda(body_, row->value));
+    return std::optional<Row>(Row{std::move(image), std::move(row->count)});
+  }
+
+  void Close() override { child_->Close(); }
+  std::string Name() const override { return "map"; }
+
+ private:
+  OperatorPtr child_;
+  Expr body_;
+};
+
+class UnionAllOp : public Operator {
+ public:
+  UnionAllOp(OperatorPtr left, OperatorPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  Status Open() override {
+    on_left_ = true;
+    BAGALG_RETURN_IF_ERROR(left_->Open());
+    return right_->Open();
+  }
+
+  Result<std::optional<Row>> Next() override {
+    if (on_left_) {
+      BAGALG_ASSIGN_OR_RETURN(std::optional<Row> row, left_->Next());
+      if (row.has_value()) return row;
+      on_left_ = false;
+    }
+    return right_->Next();
+  }
+
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+  std::string Name() const override { return "union-all"; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  bool on_left_ = true;
+};
+
+class NestedLoopProductOp : public Operator {
+ public:
+  NestedLoopProductOp(OperatorPtr left, OperatorPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  Status Open() override {
+    BAGALG_RETURN_IF_ERROR(right_->Open());
+    // Materialize the inner side once.
+    inner_.clear();
+    while (true) {
+      BAGALG_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
+      if (!row.has_value()) break;
+      if (!row->value.IsTuple()) {
+        return Status::InvalidArgument("product requires tuple rows");
+      }
+      inner_.push_back(std::move(*row));
+    }
+    right_->Close();
+    inner_pos_ = inner_.size();  // force a left fetch first
+    return left_->Open();
+  }
+
+  Result<std::optional<Row>> Next() override {
+    while (true) {
+      if (inner_pos_ < inner_.size()) {
+        const Row& r = inner_[inner_pos_++];
+        std::vector<Value> fields = current_.value.fields();
+        const auto& rf = r.value.fields();
+        fields.insert(fields.end(), rf.begin(), rf.end());
+        return std::optional<Row>(
+            Row{Value::Tuple(std::move(fields)), current_.count * r.count});
+      }
+      BAGALG_ASSIGN_OR_RETURN(std::optional<Row> row, left_->Next());
+      if (!row.has_value()) return row;
+      if (!row->value.IsTuple()) {
+        return Status::InvalidArgument("product requires tuple rows");
+      }
+      current_ = std::move(*row);
+      inner_pos_ = 0;
+    }
+  }
+
+  void Close() override { left_->Close(); }
+  std::string Name() const override { return "nested-loop-product"; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<Row> inner_;
+  size_t inner_pos_ = 0;
+  Row current_;
+};
+
+/// Shared base for the materializing binary merges and ε.
+class MaterializingOp : public Operator {
+ public:
+  Status Open() override {
+    output_.clear();
+    pos_ = 0;
+    BAGALG_ASSIGN_OR_RETURN(Bag bag, Materialize());
+    for (const BagEntry& e : bag.entries()) {
+      output_.push_back(Row{e.value, e.count});
+    }
+    return Status::Ok();
+  }
+
+  Result<std::optional<Row>> Next() override {
+    if (pos_ >= output_.size()) return std::optional<Row>();
+    return std::optional<Row>(output_[pos_++]);
+  }
+
+  void Close() override { output_.clear(); }
+
+ protected:
+  virtual Result<Bag> Materialize() = 0;
+
+  static Result<Bag> Drain(Operator* child) { return Collect(child); }
+
+ private:
+  std::vector<Row> output_;
+  size_t pos_ = 0;
+};
+
+class MergeOp : public MaterializingOp {
+ public:
+  MergeOp(MergeKind kind, OperatorPtr left, OperatorPtr right)
+      : kind_(kind), left_(std::move(left)), right_(std::move(right)) {}
+
+  std::string Name() const override {
+    switch (kind_) {
+      case MergeKind::kMonus:
+        return "monus";
+      case MergeKind::kMaxUnion:
+        return "max-union";
+      case MergeKind::kIntersect:
+        return "intersect";
+    }
+    return "merge";
+  }
+
+ protected:
+  Result<Bag> Materialize() override {
+    BAGALG_ASSIGN_OR_RETURN(Bag l, Drain(left_.get()));
+    BAGALG_ASSIGN_OR_RETURN(Bag r, Drain(right_.get()));
+    switch (kind_) {
+      case MergeKind::kMonus:
+        return Subtract(l, r);
+      case MergeKind::kMaxUnion:
+        return MaxUnion(l, r);
+      case MergeKind::kIntersect:
+        return Intersect(l, r);
+    }
+    return Status::Internal("unhandled merge kind");
+  }
+
+ private:
+  MergeKind kind_;
+  OperatorPtr left_;
+  OperatorPtr right_;
+};
+
+class DupElimOp : public MaterializingOp {
+ public:
+  explicit DupElimOp(OperatorPtr child) : child_(std::move(child)) {}
+  std::string Name() const override { return "dup-elim"; }
+
+ protected:
+  Result<Bag> Materialize() override {
+    BAGALG_ASSIGN_OR_RETURN(Bag b, Drain(child_.get()));
+    return DupElim(b);
+  }
+
+ private:
+  OperatorPtr child_;
+};
+
+}  // namespace
+
+OperatorPtr MakeScan(Bag bag) { return std::make_unique<ScanOp>(std::move(bag)); }
+
+OperatorPtr MakeSelect(OperatorPtr child, Expr lhs, Expr rhs) {
+  return std::make_unique<SelectOp>(std::move(child), std::move(lhs),
+                                    std::move(rhs));
+}
+
+OperatorPtr MakeMapProject(OperatorPtr child, Expr body) {
+  return std::make_unique<MapProjectOp>(std::move(child), std::move(body));
+}
+
+OperatorPtr MakeUnionAll(OperatorPtr left, OperatorPtr right) {
+  return std::make_unique<UnionAllOp>(std::move(left), std::move(right));
+}
+
+OperatorPtr MakeNestedLoopProduct(OperatorPtr left, OperatorPtr right) {
+  return std::make_unique<NestedLoopProductOp>(std::move(left),
+                                               std::move(right));
+}
+
+OperatorPtr MakeMerge(MergeKind kind, OperatorPtr left, OperatorPtr right) {
+  return std::make_unique<MergeOp>(kind, std::move(left), std::move(right));
+}
+
+OperatorPtr MakeDupElim(OperatorPtr child) {
+  return std::make_unique<DupElimOp>(std::move(child));
+}
+
+}  // namespace bagalg::exec

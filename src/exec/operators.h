@@ -1,0 +1,54 @@
+#ifndef BAGALG_EXEC_OPERATORS_H_
+#define BAGALG_EXEC_OPERATORS_H_
+
+/// \file operators.h
+/// The physical operators of the BALG¹ execution engine.
+///
+/// Streaming: Scan, Select, MapProject, UnionAll (⊎), NestedLoopProduct.
+/// Pipeline breakers (materialize children into counted hash state):
+/// Monus, MaxUnion, Intersect, DupElim.
+///
+/// Lambda bodies (MAP images and σ sides) are *object-level* expressions
+/// over the row's tuple — the BALG¹ shape — evaluated by a small dedicated
+/// interpreter (EvalRowLambda).
+
+#include <functional>
+#include <vector>
+
+#include "src/algebra/expr.h"
+#include "src/exec/operator.h"
+
+namespace bagalg::exec {
+
+/// Evaluates an object-level lambda body (Var(0) / τ / α_i / const) on a
+/// row value. Unsupported for bodies using bag operators or deeper binders
+/// (those queries stay on the tree-walking evaluator).
+Result<Value> EvalRowLambda(const Expr& body, const Value& row);
+
+/// Leaf scan over a materialized bag's canonical entries.
+OperatorPtr MakeScan(Bag bag);
+
+/// σ_{lhs=rhs}: keeps rows where the two object-level bodies agree.
+OperatorPtr MakeSelect(OperatorPtr child, Expr lhs, Expr rhs);
+
+/// MAP φ: applies an object-level body to each row (no merging; the sink
+/// merges equal images, preserving the additive MAP semantics).
+OperatorPtr MakeMapProject(OperatorPtr child, Expr body);
+
+/// ⊎: concatenates the two input streams.
+OperatorPtr MakeUnionAll(OperatorPtr left, OperatorPtr right);
+
+/// ×: nested-loop product; the right side is materialized on Open, the
+/// left side streams. Multiplicities multiply; tuple fields concatenate.
+OperatorPtr MakeNestedLoopProduct(OperatorPtr left, OperatorPtr right);
+
+/// − / ∪ / ∩: materialize both children and stream the merged counts.
+enum class MergeKind { kMonus, kMaxUnion, kIntersect };
+OperatorPtr MakeMerge(MergeKind kind, OperatorPtr left, OperatorPtr right);
+
+/// ε: materializes and streams each distinct value once.
+OperatorPtr MakeDupElim(OperatorPtr child);
+
+}  // namespace bagalg::exec
+
+#endif  // BAGALG_EXEC_OPERATORS_H_

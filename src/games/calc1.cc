@@ -1,0 +1,262 @@
+#include "src/games/calc1.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace bagalg::games {
+
+Calc1Formula Calc1Formula::Equal(size_t i, size_t j) {
+  Calc1Formula f;
+  f.kind_ = Kind::kEqual;
+  f.i_ = i;
+  f.j_ = j;
+  return f;
+}
+
+Calc1Formula Calc1Formula::Member(size_t atom_var, size_t set_var) {
+  Calc1Formula f;
+  f.kind_ = Kind::kMember;
+  f.i_ = atom_var;
+  f.j_ = set_var;
+  return f;
+}
+
+Calc1Formula Calc1Formula::Subset(size_t i, size_t j) {
+  Calc1Formula f;
+  f.kind_ = Kind::kSubset;
+  f.i_ = i;
+  f.j_ = j;
+  return f;
+}
+
+Calc1Formula Calc1Formula::Edge(size_t i, size_t j) {
+  Calc1Formula f;
+  f.kind_ = Kind::kEdge;
+  f.i_ = i;
+  f.j_ = j;
+  return f;
+}
+
+Calc1Formula Calc1Formula::Not(Calc1Formula inner) {
+  Calc1Formula f;
+  f.kind_ = Kind::kNot;
+  f.children_ = {std::move(inner)};
+  return f;
+}
+
+Calc1Formula Calc1Formula::And(Calc1Formula l, Calc1Formula r) {
+  Calc1Formula f;
+  f.kind_ = Kind::kAnd;
+  f.children_ = {std::move(l), std::move(r)};
+  return f;
+}
+
+Calc1Formula Calc1Formula::Or(Calc1Formula l, Calc1Formula r) {
+  Calc1Formula f;
+  f.kind_ = Kind::kOr;
+  f.children_ = {std::move(l), std::move(r)};
+  return f;
+}
+
+Calc1Formula Calc1Formula::Exists(size_t var, VarSort sort,
+                                  Calc1Formula inner) {
+  Calc1Formula f;
+  f.kind_ = Kind::kExists;
+  f.i_ = var;
+  f.sort_ = sort;
+  f.children_ = {std::move(inner)};
+  return f;
+}
+
+Calc1Formula Calc1Formula::ForAll(size_t var, VarSort sort,
+                                  Calc1Formula inner) {
+  Calc1Formula f;
+  f.kind_ = Kind::kForAll;
+  f.i_ = var;
+  f.sort_ = sort;
+  f.children_ = {std::move(inner)};
+  return f;
+}
+
+size_t Calc1Formula::VariableCount() const {
+  size_t max_index = 0;
+  switch (kind_) {
+    case Kind::kEqual:
+    case Kind::kMember:
+    case Kind::kSubset:
+    case Kind::kEdge:
+      return std::max(i_, j_) + 1;
+    case Kind::kExists:
+    case Kind::kForAll:
+      max_index = i_ + 1;
+      break;
+    default:
+      break;
+  }
+  for (const Calc1Formula& c : children_) {
+    max_index = std::max(max_index, c.VariableCount());
+  }
+  return max_index;
+}
+
+std::string Calc1Formula::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kEqual:
+      os << "x" << i_ << " = x" << j_;
+      break;
+    case Kind::kMember:
+      os << "x" << i_ << " in x" << j_;
+      break;
+    case Kind::kSubset:
+      os << "x" << i_ << " subset x" << j_;
+      break;
+    case Kind::kEdge:
+      os << "E(x" << i_ << ", x" << j_ << ")";
+      break;
+    case Kind::kNot:
+      os << "not(" << children_[0].ToString() << ")";
+      break;
+    case Kind::kAnd:
+      os << "(" << children_[0].ToString() << " and "
+         << children_[1].ToString() << ")";
+      break;
+    case Kind::kOr:
+      os << "(" << children_[0].ToString() << " or "
+         << children_[1].ToString() << ")";
+      break;
+    case Kind::kExists:
+      os << "exists x" << i_ << (sort_ == VarSort::kAtom ? ":U " : ":{U} ")
+         << children_[0].ToString();
+      break;
+    case Kind::kForAll:
+      os << "forall x" << i_ << (sort_ == VarSort::kAtom ? ":U " : ":{U} ")
+         << children_[0].ToString();
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(const Structure& s) : s_(s) {
+    for (AtomId a : s.atoms) atoms_.push_back(Value::Atom(a));
+    // All sets of atoms (the {U} slice of Comp(A, T)).
+    size_t n = s.atoms.size();
+    for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+      Bag::Builder builder;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (uint64_t{1} << i)) {
+          builder.AddOne(Value::Atom(s.atoms[i]));
+        }
+      }
+      sets_.push_back(Value::FromBag(std::move(builder).Build().value()));
+    }
+  }
+
+  Result<bool> Eval(const Calc1Formula& f) {
+    switch (f.kind()) {
+      case Calc1Formula::Kind::kEqual: {
+        BAGALG_ASSIGN_OR_RETURN(Value a, Lookup(f.lhs_var()));
+        BAGALG_ASSIGN_OR_RETURN(Value b, Lookup(f.rhs_var()));
+        return a == b;
+      }
+      case Calc1Formula::Kind::kMember: {
+        BAGALG_ASSIGN_OR_RETURN(Value a, Lookup(f.lhs_var()));
+        BAGALG_ASSIGN_OR_RETURN(Value set, Lookup(f.rhs_var()));
+        if (!a.IsAtom() || !set.IsBag()) {
+          return Status::InvalidArgument(
+              "membership needs an atom and a set variable");
+        }
+        return set.bag().Contains(a);
+      }
+      case Calc1Formula::Kind::kSubset: {
+        BAGALG_ASSIGN_OR_RETURN(Value a, Lookup(f.lhs_var()));
+        BAGALG_ASSIGN_OR_RETURN(Value b, Lookup(f.rhs_var()));
+        if (!a.IsBag() || !b.IsBag()) {
+          return Status::InvalidArgument("subset needs two set variables");
+        }
+        return a.bag().SubBagOf(b.bag());
+      }
+      case Calc1Formula::Kind::kEdge: {
+        BAGALG_ASSIGN_OR_RETURN(Value a, Lookup(f.lhs_var()));
+        BAGALG_ASSIGN_OR_RETURN(Value b, Lookup(f.rhs_var()));
+        return s_.HasEdge(a, b);
+      }
+      case Calc1Formula::Kind::kNot: {
+        BAGALG_ASSIGN_OR_RETURN(bool v, Eval(f.child(0)));
+        return !v;
+      }
+      case Calc1Formula::Kind::kAnd: {
+        BAGALG_ASSIGN_OR_RETURN(bool l, Eval(f.child(0)));
+        if (!l) return false;
+        return Eval(f.child(1));
+      }
+      case Calc1Formula::Kind::kOr: {
+        BAGALG_ASSIGN_OR_RETURN(bool l, Eval(f.child(0)));
+        if (l) return true;
+        return Eval(f.child(1));
+      }
+      case Calc1Formula::Kind::kExists:
+      case Calc1Formula::Kind::kForAll: {
+        bool universal = f.kind() == Calc1Formula::Kind::kForAll;
+        const auto& domain =
+            f.bound_sort() == VarSort::kAtom ? atoms_ : sets_;
+        // Variables may be reused by nested quantifiers (finite-variable
+        // logic); save and restore any outer binding.
+        auto prev = env_.find(f.bound_var());
+        std::optional<Value> saved;
+        if (prev != env_.end()) saved = prev->second;
+        bool verdict = universal;
+        Status error = Status::Ok();
+        for (const Value& v : domain) {
+          env_[f.bound_var()] = v;
+          auto r = Eval(f.child(0));
+          if (!r.ok()) {
+            error = r.status();
+            break;
+          }
+          if (*r != universal) {
+            verdict = !universal;  // witness / countermodel found
+            break;
+          }
+        }
+        if (saved.has_value()) {
+          env_[f.bound_var()] = *saved;
+        } else {
+          env_.erase(f.bound_var());
+        }
+        BAGALG_RETURN_IF_ERROR(error);
+        return verdict;
+      }
+    }
+    return Status::Internal("unhandled CALC1 kind");
+  }
+
+ private:
+  Result<Value> Lookup(size_t var) {
+    auto it = env_.find(var);
+    if (it == env_.end()) {
+      return Status::InvalidArgument("free variable x" + std::to_string(var) +
+                                     " in CALC1 sentence");
+    }
+    return it->second;
+  }
+
+  const Structure& s_;
+  std::vector<Value> atoms_;
+  std::vector<Value> sets_;
+  std::map<size_t, Value> env_;
+};
+
+}  // namespace
+
+Result<bool> EvalCalc1(const Calc1Formula& sentence, const Structure& s) {
+  Checker checker(s);
+  return checker.Eval(sentence);
+}
+
+}  // namespace bagalg::games

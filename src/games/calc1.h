@@ -1,0 +1,88 @@
+#ifndef BAGALG_GAMES_CALC1_H_
+#define BAGALG_GAMES_CALC1_H_
+
+/// \file calc1.h
+/// CALC¹ — the complex-object calculus of [HS91] over types U and {U},
+/// with active-domain semantics (paper §5).
+///
+/// The paper's Theorem 5.3 ties three things together: RALG² expressibility,
+/// CALC¹ sentences, and the [GV90] pebble game — two structures agree on
+/// all k-variable CALC¹ sentences iff the duplicator wins the k-move game.
+/// This module provides the logic side: a typed formula AST (variables of
+/// type U or {U}; predicates =, ∈, ⊆, and the binary edge relation E;
+/// connectives; quantifiers ranging over the completion Comp(A, T)) and a
+/// model checker. The integration tests verify the Theorem 5.3 equivalence
+/// empirically: whenever the duplicator wins the k-move game, every
+/// sentence with at most k quantified variables agrees on the two
+/// structures.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/games/structures.h"
+#include "src/util/result.h"
+
+namespace bagalg::games {
+
+/// Variable sorts: atoms (type U) or sets of atoms (type {U}).
+enum class VarSort { kAtom, kSet };
+
+/// A CALC¹ formula over variables x0, x1, ... (de Bruijn-free: variables
+/// are globally indexed; quantifiers bind by index).
+class Calc1Formula {
+ public:
+  enum class Kind {
+    kEqual,     ///< x_i = x_j (same sort)
+    kMember,    ///< x_i ∈ x_j (atom ∈ set)
+    kSubset,    ///< x_i ⊆ x_j (set ⊆ set)
+    kEdge,      ///< E(x_i, x_j) — the structure's nonlogical relation
+    kNot,
+    kAnd,
+    kOr,
+    kExists,    ///< ∃ x_i : sort
+    kForAll,    ///< ∀ x_i : sort
+  };
+
+  static Calc1Formula Equal(size_t i, size_t j);
+  static Calc1Formula Member(size_t atom_var, size_t set_var);
+  static Calc1Formula Subset(size_t i, size_t j);
+  static Calc1Formula Edge(size_t i, size_t j);
+  static Calc1Formula Not(Calc1Formula f);
+  static Calc1Formula And(Calc1Formula l, Calc1Formula r);
+  static Calc1Formula Or(Calc1Formula l, Calc1Formula r);
+  static Calc1Formula Exists(size_t var, VarSort sort, Calc1Formula f);
+  static Calc1Formula ForAll(size_t var, VarSort sort, Calc1Formula f);
+
+  Kind kind() const { return kind_; }
+  size_t lhs_var() const { return i_; }
+  size_t rhs_var() const { return j_; }
+  size_t bound_var() const { return i_; }
+  VarSort bound_sort() const { return sort_; }
+  const Calc1Formula& child(size_t k) const { return children_[k]; }
+  size_t child_count() const { return children_.size(); }
+
+  /// Number of distinct quantified variables (the k of Theorem 5.3 when
+  /// variables are reused maximally; here simply the max index + 1).
+  size_t VariableCount() const;
+
+  /// Human-readable rendering.
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kEqual;
+  size_t i_ = 0;
+  size_t j_ = 0;
+  VarSort sort_ = VarSort::kAtom;
+  std::vector<Calc1Formula> children_;
+};
+
+/// Model-checks a sentence (all variables quantified) on a structure:
+/// quantifiers range over the atoms (sort U) or over all sets of atoms
+/// (sort {U}) of the completion. InvalidArgument on free variables or
+/// sort mismatches discovered at evaluation time.
+Result<bool> EvalCalc1(const Calc1Formula& sentence, const Structure& s);
+
+}  // namespace bagalg::games
+
+#endif  // BAGALG_GAMES_CALC1_H_

@@ -1,0 +1,84 @@
+#include "src/games/pebble_game.h"
+
+namespace bagalg::games {
+
+namespace {
+
+/// Is `x` a member of set-object `s` (an atom in a set-like bag)?
+bool Member(const Value& x, const Value& s) {
+  return s.IsBag() && x.IsAtom() && s.bag().Contains(x);
+}
+
+/// Is set-object `s` contained in set-object `t`?
+bool Contained(const Value& s, const Value& t) {
+  return s.IsBag() && t.IsBag() && s.bag().SubBagOf(t.bag());
+}
+
+}  // namespace
+
+PebbleGame::PebbleGame(const Structure& a, const Structure& b)
+    : a_(a), b_(b) {
+  domain_a_ = CompletionDomain(a);
+  domain_b_ = CompletionDomain(b);
+}
+
+bool PebbleGame::ConsistentMap(
+    const std::vector<std::pair<Value, Value>>& pairs) {
+  stats_.consistency_checks += 1;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [x, fx] = pairs[i];
+    // Types (kinds) must agree.
+    if (x.kind() != fx.kind()) return false;
+    for (size_t j = 0; j < pairs.size(); ++j) {
+      const auto& [y, fy] = pairs[j];
+      // Bijectivity / equality preservation.
+      if ((x == y) != (fx == fy)) return false;
+      // Logical predicates.
+      if (Member(x, y) != Member(fx, fy)) return false;
+      if (x.IsBag() && y.IsBag() && Contained(x, y) != Contained(fx, fy)) {
+        return false;
+      }
+      // Nonlogical edge relation.
+      if (a_.HasEdge(x, y) != b_.HasEdge(fx, fy)) return false;
+      if (a_.HasEdge(y, x) != b_.HasEdge(fy, fx)) return false;
+    }
+  }
+  return true;
+}
+
+bool PebbleGame::Search(std::vector<std::pair<Value, Value>>& pairs,
+                        int moves_left) {
+  stats_.states_explored += 1;
+  if (moves_left == 0) return true;
+  // Spoiler tries every object in either structure; the duplicator must
+  // have a consistent answer that survives the remaining moves.
+  for (int side = 0; side < 2; ++side) {
+    const auto& spoiler_domain = side == 0 ? domain_a_ : domain_b_;
+    const auto& duplicator_domain = side == 0 ? domain_b_ : domain_a_;
+    for (const Value& pick : spoiler_domain) {
+      bool answered = false;
+      for (const Value& reply : duplicator_domain) {
+        if (side == 0) {
+          pairs.emplace_back(pick, reply);
+        } else {
+          pairs.emplace_back(reply, pick);
+        }
+        bool ok = ConsistentMap(pairs) && Search(pairs, moves_left - 1);
+        pairs.pop_back();
+        if (ok) {
+          answered = true;
+          break;
+        }
+      }
+      if (!answered) return false;  // the spoiler wins with this pick
+    }
+  }
+  return true;
+}
+
+bool PebbleGame::DuplicatorWins(int k) {
+  std::vector<std::pair<Value, Value>> pairs;
+  return Search(pairs, k);
+}
+
+}  // namespace bagalg::games

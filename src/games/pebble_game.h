@@ -1,0 +1,59 @@
+#ifndef BAGALG_GAMES_PEBBLE_GAME_H_
+#define BAGALG_GAMES_PEBBLE_GAME_H_
+
+/// \file pebble_game.h
+/// The [GV90] k-move game for complex objects (paper §5).
+///
+/// Two players alternate: the spoiler picks an object of type U or {U} from
+/// the completion of either structure; the duplicator answers in the other
+/// structure. The duplicator wins a round iff the picked pairs induce an
+/// isomorphism of the generated substructures: a type- and
+/// equality-preserving bijection preserving the logical predicates (∈, ⊆)
+/// and the edge relation. A_k ≡_{k,T} A'_k (duplicator has a winning
+/// strategy) iff the structures agree on all CALC¹ sentences with k
+/// variables over T (Theorem 5.3) — which is how Lemma 5.4 turns "the
+/// duplicator wins on Fig 1" into "RALG² cannot define Φ".
+///
+/// The engine does exhaustive minimax with memoization on the pick-set; it
+/// is meant for the small structures of Lemma 5.4 (n ≤ 6–8 atoms).
+
+#include <cstdint>
+
+#include "src/games/structures.h"
+
+namespace bagalg::games {
+
+/// Statistics from one game search.
+struct GameStats {
+  uint64_t states_explored = 0;
+  uint64_t consistency_checks = 0;
+};
+
+/// Plays the k-move game on (a, b).
+class PebbleGame {
+ public:
+  PebbleGame(const Structure& a, const Structure& b);
+
+  /// True iff the duplicator has a winning strategy for k moves.
+  bool DuplicatorWins(int k);
+
+  const GameStats& stats() const { return stats_; }
+
+  /// Exposed for testing: is the partial mapping `pairs` (a_i -> b_i) a
+  /// partial isomorphism w.r.t. equality, membership, containment, and the
+  /// edge relations?
+  bool ConsistentMap(const std::vector<std::pair<Value, Value>>& pairs);
+
+ private:
+  bool Search(std::vector<std::pair<Value, Value>>& pairs, int moves_left);
+
+  const Structure& a_;
+  const Structure& b_;
+  std::vector<Value> domain_a_;
+  std::vector<Value> domain_b_;
+  GameStats stats_;
+};
+
+}  // namespace bagalg::games
+
+#endif  // BAGALG_GAMES_PEBBLE_GAME_H_

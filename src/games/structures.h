@@ -1,0 +1,72 @@
+#ifndef BAGALG_GAMES_STRUCTURES_H_
+#define BAGALG_GAMES_STRUCTURES_H_
+
+/// \file structures.h
+/// Finite structures with complex-object domains, and the Figure 1
+/// construction of Lemma 5.4.
+///
+/// The Theorem 5.2 separation (RALG² ⊊ BALG²) is proved with the [GV90]
+/// pebble game on a pair of star graphs whose nodes are *sets* of atomic
+/// constants: a central node α = {1..n} linked to 2^{n/2} nodes drawn from
+/// two families In_n and Out_n of n/2-subsets, chosen so that every atom
+/// belongs to exactly half the sets of each family (property (1) of the
+/// paper). In G the star is balanced (in-degree(α) = out-degree(α)); in G'
+/// one edge is inverted. The query Φ — "in-degree of α exceeds out-degree"
+/// — distinguishes the graphs, yet the duplicator wins the k-move game when
+/// n > 2^k, so no CALC¹/RALG² sentence defines Φ.
+
+#include <utility>
+#include <vector>
+
+#include "src/core/value.h"
+#include "src/util/result.h"
+
+namespace bagalg::games {
+
+/// A finite structure: a domain of atoms plus one binary (nonlogical) edge
+/// relation over complex objects built from those atoms.
+struct Structure {
+  std::vector<AtomId> atoms;
+  std::vector<std::pair<Value, Value>> edges;
+
+  /// True iff (u, v) is an edge.
+  bool HasEdge(const Value& u, const Value& v) const;
+};
+
+/// The objects of the completion Comp(A, T) for T = {U, {U}}: the atoms of
+/// the structure plus every set of atoms (represented as set-like bag
+/// values). 2^|atoms| + |atoms| objects — callers keep |atoms| small.
+std::vector<Value> CompletionDomain(const Structure& s);
+
+/// The Figure 1 pair (G_{k,T}, G'_{k,T}) for an even n >= 4.
+struct StarGraphs {
+  Structure g;        ///< balanced star: in-degree(α) == out-degree(α)
+  Structure g_prime;  ///< one edge inverted: in-degree(α) > out-degree(α)
+  Value alpha;        ///< the central node {1..n}
+  std::vector<Value> in_nodes;   ///< In_n (sources in G)
+  std::vector<Value> out_nodes;  ///< Out_n (sinks in G)
+};
+
+/// Builds the graphs, with In_n / Out_n by the paper's induction:
+///   In_4  = {{1,2},{3,4}},  Out_4 = {{1,3},{2,4}}
+///   In_{n+2}  = {S ∪ {n+1} : S ∈ In_n}  ∪ {S ∪ {n+2} : S ∈ Out_n}
+///   Out_{n+2} = {S ∪ {n+1} : S ∈ Out_n} ∪ {S ∪ {n+2} : S ∈ In_n}
+/// InvalidArgument unless n is even and >= 4.
+Result<StarGraphs> BuildFig1StarGraphs(int n);
+
+/// Checks the paper's property (1): every atom i belongs to exactly half
+/// the sets of `family`.
+bool BalancedSplitHolds(const std::vector<Value>& family, int n);
+
+/// Degree counting over a structure.
+size_t InDegree(const Structure& s, const Value& node);
+size_t OutDegree(const Structure& s, const Value& node);
+
+/// Converts the structure's edge relation to a BALG database bag of pairs
+/// [u, v] — the input of the Φ query in the algebra (type {{[{{U}},{{U}}]}},
+/// a BALG² input).
+Bag EdgesAsBag(const Structure& s);
+
+}  // namespace bagalg::games
+
+#endif  // BAGALG_GAMES_STRUCTURES_H_

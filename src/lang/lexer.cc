@@ -1,0 +1,159 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+
+namespace bagalg::lang {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLBagBrace:
+      return "'{{'";
+    case TokenKind::kRBagBrace:
+      return "'}}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kEqEq:
+      return "'=='";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kQuote:
+      return "'''";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kUnderscore:
+      return "'_'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, size_t start, size_t len) {
+    tokens.push_back(Token{kind, std::string(input.substr(start, len)), start});
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      push(TokenKind::kNumber, start, i - start);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        ++i;
+      }
+      push(TokenKind::kIdent, start, i - start);
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, i, 1);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, i, 1);
+        ++i;
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, i, 1);
+        ++i;
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, i, 1);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, i, 1);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, i, 1);
+        ++i;
+        continue;
+      case '\'':
+        push(TokenKind::kQuote, i, 1);
+        ++i;
+        continue;
+      case ':':
+        push(TokenKind::kColon, i, 1);
+        ++i;
+        continue;
+      case '_':
+        push(TokenKind::kUnderscore, i, 1);
+        ++i;
+        continue;
+      case '{':
+        if (i + 1 < input.size() && input[i + 1] == '{') {
+          push(TokenKind::kLBagBrace, i, 2);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("single '{' at offset " + std::to_string(i) +
+                                  " (bags are written with '{{')");
+      case '}':
+        if (i + 1 < input.size() && input[i + 1] == '}') {
+          push(TokenKind::kRBagBrace, i, 2);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("single '}' at offset " + std::to_string(i));
+      case '-':
+        if (i + 1 < input.size() && input[i + 1] == '>') {
+          push(TokenKind::kArrow, i, 2);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("stray '-' at offset " + std::to_string(i));
+      case '=':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kEqEq, i, 2);
+          i += 2;
+          continue;
+        }
+        push(TokenKind::kEq, i, 1);
+        ++i;
+        continue;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+    }
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", input.size()});
+  return tokens;
+}
+
+}  // namespace bagalg::lang

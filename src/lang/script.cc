@@ -1,0 +1,189 @@
+#include "src/lang/script.h"
+
+#include <sstream>
+
+#include "src/algebra/explain.h"
+#include "src/algebra/rewrite.h"
+#include "src/algebra/typecheck.h"
+#include "src/lang/parser.h"
+#include "src/util/strings.h"
+
+namespace bagalg::lang {
+
+namespace {
+
+/// Splits "cmd rest" on the first whitespace run.
+std::pair<std::string, std::string> SplitCommand(const std::string& line) {
+  size_t start = line.find_first_not_of(" \t");
+  if (start == std::string::npos) return {"", ""};
+  size_t end = line.find_first_of(" \t", start);
+  if (end == std::string::npos) return {line.substr(start), ""};
+  size_t rest = line.find_first_not_of(" \t", end);
+  return {line.substr(start, end - start),
+          rest == std::string::npos ? "" : line.substr(rest)};
+}
+
+}  // namespace
+
+Result<std::string> ScriptRunner::RunLine(const std::string& line) {
+  std::string stripped = line.substr(0, line.find('#'));
+  auto [cmd, rest] = SplitCommand(stripped);
+  if (cmd.empty()) return std::string();
+
+  if (cmd == "let") {
+    size_t eq = rest.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("let syntax: let NAME = VALUE");
+    }
+    auto [name, unused] = SplitCommand(rest.substr(0, eq));
+    (void)unused;
+    if (name.empty() || IsReservedWord(name)) {
+      return Status::ParseError("invalid bag name in let");
+    }
+    BAGALG_ASSIGN_OR_RETURN(Value v, ParseValue(rest.substr(eq + 1)));
+    if (!v.IsBag()) {
+      return Status::InvalidArgument("let binds bags; got a " +
+                                     v.type().ToString());
+    }
+    BAGALG_RETURN_IF_ERROR(db_.Put(name, v.bag()));
+    return name + " : " + v.type().ToString();
+  }
+
+  if (cmd == "schema") {
+    size_t colon = rest.find(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("schema syntax: schema NAME : TYPE");
+    }
+    auto [name, unused] = SplitCommand(rest.substr(0, colon));
+    (void)unused;
+    BAGALG_ASSIGN_OR_RETURN(Type t, ParseType(rest.substr(colon + 1)));
+    BAGALG_RETURN_IF_ERROR(db_.Declare(name, t));
+    return name + " : " + t.ToString();
+  }
+
+  if (cmd == "eval" || cmd == "count") {
+    BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    BAGALG_ASSIGN_OR_RETURN(Value v, evaluator_.Eval(e, db_));
+    if (cmd == "count") {
+      if (!v.IsBag()) {
+        return Status::InvalidArgument("count requires a bag result");
+      }
+      return v.bag().TotalCount().ToString();
+    }
+    return v.ToString();
+  }
+
+  if (cmd == "type") {
+    BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    BAGALG_ASSIGN_OR_RETURN(Type t, TypeOf(e, db_.schema()));
+    return t.ToString();
+  }
+
+  if (cmd == "analyze") {
+    BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    BAGALG_ASSIGN_OR_RETURN(ExprAnalysis a, AnalyzeExpr(e, db_.schema()));
+    std::ostringstream os;
+    os << "type=" << a.type.ToString()
+       << " fragment=BALG^" << a.max_type_nesting
+       << " power_nesting=" << a.power_nesting << " nodes=" << a.node_count;
+    if (a.uses_powerbag) os << " +powerbag";
+    if (a.uses_fixpoint) os << " +fixpoint";
+    return os.str();
+  }
+
+  if (cmd == "explain") {
+    BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    BAGALG_ASSIGN_OR_RETURN(std::string plan, ExplainExpr(e, db_.schema()));
+    if (!plan.empty() && plan.back() == '\n') plan.pop_back();
+    return plan;
+  }
+
+  if (cmd == "fragment") {
+    // fragment K EXPR — is the expression within BALG^K?
+    auto [k_text, expr_text] = SplitCommand(rest);
+    BAGALG_ASSIGN_OR_RETURN(BigNat k, BigNat::FromDecimal(k_text));
+    BAGALG_ASSIGN_OR_RETURN(uint64_t kv, k.ToUint64());
+    BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(expr_text));
+    Status st = CheckFragment(e, db_.schema(), static_cast<int>(kv));
+    return st.ok() ? "within BALG^" + k_text : st.ToString();
+  }
+
+  if (cmd == "optimize") {
+    BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    BAGALG_ASSIGN_OR_RETURN(Expr opt, Optimize(e, db_.schema()));
+    return opt.ToString();
+  }
+
+  if (cmd == "dump") {
+    // Emit the database as a replayable script.
+    std::ostringstream os;
+    for (const auto& [name, bag] : db_.instances()) {
+      os << "let " << name << " = " << bag.ToString() << "\n";
+    }
+    std::string text = os.str();
+    if (!text.empty()) text.pop_back();
+    return text;
+  }
+
+  if (cmd == "stats") {
+    return evaluator_.stats().ToString();
+  }
+
+  if (cmd == "reset") {
+    db_ = Database();
+    evaluator_.ResetStats();
+    return std::string("ok");
+  }
+
+  return Status::ParseError("unknown command '" + cmd + "'");
+}
+
+namespace {
+
+/// Bracket balance of a line with its '#' comment stripped — used to join
+/// multi-line commands.
+int BracketBalance(const std::string& line) {
+  int balance = 0;
+  for (char c : line) {
+    if (c == '#') break;
+    if (c == '(' || c == '[' || c == '{') ++balance;
+    if (c == ')' || c == ']' || c == '}') --balance;
+  }
+  return balance;
+}
+
+}  // namespace
+
+Result<std::string> ScriptRunner::RunScript(const std::string& text) {
+  std::ostringstream out;
+  size_t line_no = 0;
+  size_t command_start = 0;
+  std::string pending;
+  int balance = 0;
+  for (const std::string& line : SplitString(text, '\n')) {
+    ++line_no;
+    if (pending.empty()) command_start = line_no;
+    // Commands may span lines while brackets remain open.
+    pending += (pending.empty() ? "" : " ") +
+               line.substr(0, line.find('#'));
+    balance += BracketBalance(line);
+    if (balance > 0) continue;
+    balance = 0;
+    std::string command;
+    std::swap(command, pending);
+    auto r = RunLine(command);
+    if (!r.ok()) {
+      return Status(r.status().code(),
+                    "line " + std::to_string(command_start) + ": " +
+                        r.status().message());
+    }
+    if (!r->empty()) out << *r << "\n";
+  }
+  if (!pending.empty() && pending.find_first_not_of(" \t") != std::string::npos) {
+    return Status::ParseError("line " + std::to_string(command_start) +
+                              ": unbalanced brackets at end of script");
+  }
+  return out.str();
+}
+
+}  // namespace bagalg::lang

@@ -1,0 +1,53 @@
+#ifndef BAGALG_LANG_SCRIPT_H_
+#define BAGALG_LANG_SCRIPT_H_
+
+/// \file script.h
+/// A line-oriented script interpreter over the bagalg surface syntax —
+/// the engine behind the examples/repl binary.
+///
+/// Commands (one per line; '#' comments):
+///   let NAME = VALUE          bind a bag (the VALUE must be a bag literal)
+///   schema NAME : TYPE        declare an input's bag type
+///   eval EXPR                 evaluate and print the resulting object
+///   count EXPR                evaluate and print the total cardinality
+///   type EXPR                 print the static type
+///   analyze EXPR              print fragment info (nesting, power nesting)
+///   explain EXPR              print the typed operator tree (EXPLAIN)
+///   fragment K EXPR           check membership in BALG^K
+///   optimize EXPR             print the rewritten expression
+///   dump                      print the database as a replayable script
+///   stats                     print evaluator statistics so far
+///   reset                     clear database and statistics
+
+#include <string>
+
+#include "src/algebra/database.h"
+#include "src/algebra/eval.h"
+#include "src/util/result.h"
+
+namespace bagalg::lang {
+
+/// Stateful script interpreter. Not thread-safe.
+class ScriptRunner {
+ public:
+  explicit ScriptRunner(Limits limits = Limits::Default())
+      : evaluator_(limits) {}
+
+  /// Executes one line; returns its printable output (possibly empty).
+  Result<std::string> RunLine(const std::string& line);
+
+  /// Executes a whole script, concatenating per-line outputs. Stops at the
+  /// first error, which is returned annotated with its line number.
+  Result<std::string> RunScript(const std::string& text);
+
+  /// The accumulated database (for tests).
+  const Database& database() const { return db_; }
+
+ private:
+  Database db_;
+  Evaluator evaluator_;
+};
+
+}  // namespace bagalg::lang
+
+#endif  // BAGALG_LANG_SCRIPT_H_

@@ -1,0 +1,70 @@
+#ifndef BAGALG_RELATIONAL_RELATION_H_
+#define BAGALG_RELATIONAL_RELATION_H_
+
+/// \file relation.h
+/// A standalone set-based relational algebra — the paper's baseline RALG.
+///
+/// This is deliberately an *independent* implementation (a std::set of
+/// tuples with classical set operators), not a wrapper over the bag engine,
+/// so the Proposition 4.2 equivalence tests cross-validate two different
+/// code paths: the BALG¹∖{−} → RALG∖{−} translation evaluated by the bag
+/// engine under set semantics, and this reference engine.
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "src/core/value.h"
+#include "src/util/result.h"
+
+namespace bagalg::relational {
+
+/// A finite relation: a set of same-arity tuples (Values of tuple kind).
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Builds from tuple values; duplicates collapse. InvalidArgument if the
+  /// values are not tuples of equal arity.
+  static Result<Relation> FromTuples(std::vector<Value> tuples);
+
+  /// Builds from a bag, discarding multiplicities (the DB' of Prop 4.2).
+  static Result<Relation> FromBag(const Bag& bag);
+
+  /// Converts to a set-like bag.
+  Bag ToBag() const;
+
+  const std::set<Value>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  bool Contains(const Value& t) const { return tuples_.count(t) != 0; }
+
+  /// Classical set operators. Product concatenates tuple fields.
+  Relation Union(const Relation& other) const;
+  Relation Intersect(const Relation& other) const;
+  Relation Difference(const Relation& other) const;
+  Relation Product(const Relation& other) const;
+
+  /// π over 1-based attribute indices.
+  Result<Relation> Project(const std::vector<size_t>& attrs) const;
+
+  /// σ with an arbitrary predicate.
+  Relation Select(const std::function<bool(const Value&)>& pred) const;
+
+  /// σ_{i=j} (1-based attributes).
+  Result<Relation> SelectEqAttrs(size_t i, size_t j) const;
+
+  /// σ_{i=c} (1-based attribute, constant).
+  Result<Relation> SelectEqConst(size_t i, const Value& c) const;
+
+  bool operator==(const Relation& other) const {
+    return tuples_ == other.tuples_;
+  }
+
+ private:
+  std::set<Value> tuples_;
+};
+
+}  // namespace bagalg::relational
+
+#endif  // BAGALG_RELATIONAL_RELATION_H_

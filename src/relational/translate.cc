@@ -1,0 +1,111 @@
+#include "src/relational/translate.h"
+
+#include "src/algebra/builder.h"
+
+namespace bagalg::relational {
+
+namespace {
+
+bool ProducesBag(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kVar:
+    case ExprKind::kConst:
+    case ExprKind::kTupling:
+    case ExprKind::kAttrProj:
+      return false;  // object-level (Const handled separately)
+    default:
+      return true;
+  }
+}
+
+Expr RebuildWithChildren(const ExprNode& n, std::vector<Expr> children) {
+  ExprNode out = n;
+  out.children = std::move(children);
+  return Expr(std::make_shared<const ExprNode>(std::move(out)));
+}
+
+}  // namespace
+
+Expr ToSetSemantics(const Expr& e) {
+  const ExprNode& n = e.node();
+  std::vector<Expr> children;
+  children.reserve(n.children.size());
+  for (const Expr& c : n.children) children.push_back(ToSetSemantics(c));
+  Expr rebuilt = children.empty() && n.kind != ExprKind::kInput
+                     ? e
+                     : RebuildWithChildren(n, std::move(children));
+  if (n.kind == ExprKind::kConst && n.literal->IsBag()) {
+    return Eps(rebuilt);
+  }
+  if (n.kind == ExprKind::kDupElim) return rebuilt;  // already idempotent
+  if (ProducesBag(n.kind)) return Eps(rebuilt);
+  return rebuilt;
+}
+
+Result<Expr> TranslateBalg1ToRalg(const Expr& e) {
+  const ExprNode& n = e.node();
+  // Recurse on children first where structurally shared.
+  auto translate_child = [&](size_t i) { return TranslateBalg1ToRalg(n.children[i]); };
+  switch (n.kind) {
+    case ExprKind::kInput:
+      return Eps(e);
+    case ExprKind::kConst:
+      if (n.literal->IsBag()) return Eps(e);
+      return e;
+    case ExprKind::kVar:
+      return e;
+    case ExprKind::kTupling: {
+      std::vector<Expr> children;
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        BAGALG_ASSIGN_OR_RETURN(Expr c, translate_child(i));
+        children.push_back(std::move(c));
+      }
+      return Tup(std::move(children));
+    }
+    case ExprKind::kAttrProj: {
+      BAGALG_ASSIGN_OR_RETURN(Expr c, translate_child(0));
+      return Proj(std::move(c), n.index);
+    }
+    case ExprKind::kBagging: {
+      BAGALG_ASSIGN_OR_RETURN(Expr c, translate_child(0));
+      return Beta(std::move(c));
+    }
+    case ExprKind::kAdditiveUnion:
+    case ExprKind::kMaxUnion: {
+      // Both unions collapse to set union under dedup.
+      BAGALG_ASSIGN_OR_RETURN(Expr a, translate_child(0));
+      BAGALG_ASSIGN_OR_RETURN(Expr b, translate_child(1));
+      return Eps(Umax(std::move(a), std::move(b)));
+    }
+    case ExprKind::kIntersect: {
+      BAGALG_ASSIGN_OR_RETURN(Expr a, translate_child(0));
+      BAGALG_ASSIGN_OR_RETURN(Expr b, translate_child(1));
+      return Eps(Inter(std::move(a), std::move(b)));
+    }
+    case ExprKind::kProduct: {
+      BAGALG_ASSIGN_OR_RETURN(Expr a, translate_child(0));
+      BAGALG_ASSIGN_OR_RETURN(Expr b, translate_child(1));
+      return Eps(Product(std::move(a), std::move(b)));
+    }
+    case ExprKind::kMap: {
+      BAGALG_ASSIGN_OR_RETURN(Expr body, translate_child(0));
+      BAGALG_ASSIGN_OR_RETURN(Expr src, translate_child(1));
+      return Eps(Map(std::move(body), std::move(src)));
+    }
+    case ExprKind::kSelect: {
+      BAGALG_ASSIGN_OR_RETURN(Expr lhs, translate_child(0));
+      BAGALG_ASSIGN_OR_RETURN(Expr rhs, translate_child(1));
+      BAGALG_ASSIGN_OR_RETURN(Expr src, translate_child(2));
+      return Eps(Select(std::move(lhs), std::move(rhs), std::move(src)));
+    }
+    case ExprKind::kDupElim:
+      // ε "is simply omitted" (Prop 4.2) — the translation dedups anyway.
+      return translate_child(0);
+    default:
+      return Status::Unsupported(
+          std::string("operator ") + ExprKindName(n.kind) +
+          " lies outside the BALG^1 \\ {-} fragment of Proposition 4.2");
+  }
+}
+
+}  // namespace bagalg::relational

@@ -1,0 +1,36 @@
+#ifndef BAGALG_RELATIONAL_TRANSLATE_H_
+#define BAGALG_RELATIONAL_TRANSLATE_H_
+
+/// \file translate.h
+/// The Proposition 4.2 machinery: RALG as a semantics over BALG syntax, and
+/// the BALG¹∖{−} → RALG∖{−} translation.
+///
+/// The paper proves BALG¹ without subtraction has the same expressive power
+/// as the relational algebra without difference: every BALG¹∖{−} query Q
+/// has an RALG∖{−} counterpart Q' with  a ∈ Q(DB) ⟺ a ∈ Q'(DB') where DB'
+/// deduplicates DB. Here:
+///   * ToSetSemantics(e) models "RALG" inside the engine by inserting ε
+///     after every bag-producing operator (the easy direction: RALG ⊆
+///     BALG¹∖{−} by adding duplicate elimination after each operator);
+///   * TranslateBalg1ToRalg(e) is the substantive direction, mapping ⊎ to
+///     set union and erasing ε, with errors outside the fragment.
+
+#include "src/algebra/expr.h"
+#include "src/util/result.h"
+
+namespace bagalg::relational {
+
+/// Rewrites `e` so each bag-producing operator is followed by duplicate
+/// elimination — the embedding of RALG into BALG (Prop 4.2, direction 1).
+Expr ToSetSemantics(const Expr& e);
+
+/// Translates a BALG¹∖{−} expression into its RALG∖{−} counterpart Q'
+/// (expressed in the shared AST under set semantics): ⊎ becomes set union,
+/// ε is erased, the remaining operators map one-to-one. Unsupported if the
+/// expression uses −, P, P_b, δ, nest/unnest, or fixpoints (outside the
+/// Prop 4.2 fragment).
+Result<Expr> TranslateBalg1ToRalg(const Expr& e);
+
+}  // namespace bagalg::relational
+
+#endif  // BAGALG_RELATIONAL_TRANSLATE_H_

@@ -1,0 +1,235 @@
+#include "src/stats/expr_gen.h"
+
+#include <vector>
+
+#include "src/algebra/builder.h"
+#include "src/algebra/typecheck.h"
+#include "src/stats/sampler.h"
+
+namespace bagalg {
+
+namespace {
+
+struct Typed {
+  Expr expr;
+  Type type;  // always a bag type here
+};
+
+/// A small constant bag of tuples over the atom pool.
+Typed RandomConstBag(Rng& rng, const std::vector<Value>& atoms) {
+  size_t arity = rng.Range(1, 2);
+  Bag::Builder builder;
+  size_t elements = rng.Range(1, 3);
+  for (size_t i = 0; i < elements; ++i) {
+    std::vector<Value> fields;
+    for (size_t j = 0; j < arity; ++j) {
+      fields.push_back(atoms[rng.Below(atoms.size())]);
+    }
+    builder.Add(Value::Tuple(std::move(fields)), Mult(rng.Range(1, 3)));
+  }
+  Bag bag = std::move(builder).Build().value();
+  Type type = bag.type();
+  return Typed{ConstBag(std::move(bag)), std::move(type)};
+}
+
+class Generator {
+ public:
+  Generator(Rng& rng, const Schema& schema, const ExprGenOptions& options)
+      : rng_(rng), options_(options) {
+    for (const auto& [name, type] : schema) {
+      pool_.push_back(Typed{Input(name), type});
+    }
+    std::vector<Value> atoms = AtomPool(options.num_const_atoms, "g");
+    atoms_ = atoms;
+    pool_.push_back(RandomConstBag(rng_, atoms_));
+  }
+
+  Result<Expr> Generate() {
+    if (pool_.empty()) {
+      return Status::InvalidArgument("expression generator needs inputs");
+    }
+    for (int round = 0; round < options_.growth_rounds; ++round) {
+      GrowOnce();
+    }
+    // Prefer the most recently generated (largest) candidates.
+    size_t idx = pool_.size() - 1 - rng_.Below(std::min<size_t>(3, pool_.size()));
+    return pool_[idx].expr;
+  }
+
+ private:
+  const Typed& Pick() { return pool_[rng_.Below(pool_.size())]; }
+
+  /// A random pool member whose type equals `t`, if any.
+  const Typed* PickWithType(const Type& t) {
+    std::vector<const Typed*> matches;
+    for (const Typed& c : pool_) {
+      if (c.type == t) matches.push_back(&c);
+    }
+    if (matches.empty()) return nullptr;
+    return matches[rng_.Below(matches.size())];
+  }
+
+  void Push(Expr e, Type t) {
+    pool_.push_back(Typed{std::move(e), std::move(t)});
+  }
+
+  void GrowOnce() {
+    switch (rng_.Below(11)) {
+      case 0: {  // merge ops on same-typed operands
+        const Typed& a = Pick();
+        const Typed* b = PickWithType(a.type);
+        if (b == nullptr) return;
+        switch (rng_.Below(4)) {
+          case 0:
+            Push(Uplus(a.expr, b->expr), a.type);
+            return;
+          case 1:
+            Push(Umax(a.expr, b->expr), a.type);
+            return;
+          case 2:
+            Push(Inter(a.expr, b->expr), a.type);
+            return;
+          default:
+            if (!options_.allow_monus) return;
+            Push(Monus(a.expr, b->expr), a.type);
+            return;
+        }
+      }
+      case 1: {  // Cartesian product of tuple bags
+        const Typed& a = Pick();
+        const Typed& b = Pick();
+        if (!a.type.element().IsTuple() || !b.type.element().IsTuple()) {
+          return;
+        }
+        std::vector<Type> fields = a.type.element().fields();
+        const auto& bf = b.type.element().fields();
+        if (fields.size() + bf.size() > 5) return;  // keep arity sane
+        fields.insert(fields.end(), bf.begin(), bf.end());
+        Type out = Type::Bag(Type::Tuple(std::move(fields)));
+        if (out.BagNesting() > options_.max_bag_nesting) return;
+        Push(Product(a.expr, b.expr), std::move(out));
+        return;
+      }
+      case 2: {  // projection via MAP
+        const Typed& a = Pick();
+        if (!a.type.element().IsTuple()) return;
+        size_t arity = a.type.element().fields().size();
+        if (arity == 0) return;
+        size_t keep = rng_.Range(1, arity);
+        std::vector<size_t> attrs;
+        std::vector<Type> out_fields;
+        for (size_t i = 0; i < keep; ++i) {
+          size_t attr = rng_.Range(1, arity);
+          attrs.push_back(attr);
+          out_fields.push_back(a.type.element().fields()[attr - 1]);
+        }
+        Push(ProjectAttrs(a.expr, attrs),
+             Type::Bag(Type::Tuple(std::move(out_fields))));
+        return;
+      }
+      case 3: {  // selection σ_{i=j} on same-typed attributes
+        const Typed& a = Pick();
+        if (!a.type.element().IsTuple()) return;
+        const auto& fields = a.type.element().fields();
+        if (fields.empty()) return;
+        size_t i = rng_.Range(1, fields.size());
+        size_t j = rng_.Range(1, fields.size());
+        if (!(fields[i - 1] == fields[j - 1])) return;
+        Push(Select(Proj(Var(0), i), Proj(Var(0), j), a.expr), a.type);
+        return;
+      }
+      case 4: {  // selection σ_{i=const} on an atom attribute
+        const Typed& a = Pick();
+        if (!a.type.element().IsTuple()) return;
+        const auto& fields = a.type.element().fields();
+        if (fields.empty()) return;
+        size_t i = rng_.Range(1, fields.size());
+        if (!fields[i - 1].IsAtom()) return;
+        Value c = atoms_[rng_.Below(atoms_.size())];
+        Push(Select(Proj(Var(0), i), ConstExpr(c), a.expr), a.type);
+        return;
+      }
+      case 5: {  // duplicate elimination
+        if (!options_.allow_dup_elim) return;
+        const Typed& a = Pick();
+        Push(Eps(a.expr), a.type);
+        return;
+      }
+      case 6: {  // powerset (nesting budget permitting)
+        if (!options_.allow_powerset) return;
+        const Typed& a = Pick();
+        Type out = Type::Bag(a.type);
+        if (out.BagNesting() > options_.max_bag_nesting) return;
+        Push(Pow(a.expr), std::move(out));
+        return;
+      }
+      case 7: {  // powerbag
+        if (!options_.allow_powerbag) return;
+        const Typed& a = Pick();
+        Type out = Type::Bag(a.type);
+        if (out.BagNesting() > options_.max_bag_nesting) return;
+        Push(Powbag(a.expr), std::move(out));
+        return;
+      }
+      case 8: {  // bag-destroy on nested bags
+        const Typed& a = Pick();
+        if (!a.type.element().IsBag()) return;
+        Push(Destroy(a.expr), a.type.element());
+        return;
+      }
+      case 9: {  // MAP β — wrap elements as singletons (nesting +1)
+        const Typed& a = Pick();
+        Type out = Type::Bag(Type::Bag(a.type.element()));
+        if (out.BagNesting() > options_.max_bag_nesting) return;
+        Push(Map(Beta(Var(0)), a.expr), std::move(out));
+        return;
+      }
+      case 10: {  // nest a random attribute, then sometimes unnest it back
+        if (!options_.allow_nest) return;
+        const Typed& a = Pick();
+        if (!a.type.element().IsTuple()) return;
+        const auto& fields = a.type.element().fields();
+        if (fields.size() < 2) return;
+        size_t attr = rng_.Range(1, fields.size());
+        std::vector<Type> key;
+        std::vector<Type> group;
+        for (size_t i = 0; i < fields.size(); ++i) {
+          (i == attr - 1 ? group : key).push_back(fields[i]);
+        }
+        key.push_back(Type::Bag(Type::Tuple(group)));
+        Type nested = Type::Bag(Type::Tuple(key));
+        if (nested.BagNesting() > options_.max_bag_nesting) return;
+        Expr nested_expr = NestExpr(a.expr, {attr});
+        if (rng_.Coin()) {
+          Push(std::move(nested_expr), std::move(nested));
+          return;
+        }
+        // Unnest the group column straight back (type: key ++ [group tuple]).
+        std::vector<Type> unnested_fields = nested.element().fields();
+        unnested_fields.back() = Type::Tuple(group);
+        Push(UnnestExpr(std::move(nested_expr), fields.size()),
+             Type::Bag(Type::Tuple(std::move(unnested_fields))));
+        return;
+      }
+    }
+  }
+
+  Rng& rng_;
+  const ExprGenOptions& options_;
+  std::vector<Typed> pool_;
+  std::vector<Value> atoms_;
+};
+
+}  // namespace
+
+Result<Expr> RandomExpr(Rng& rng, const Schema& schema,
+                        const ExprGenOptions& options) {
+  Generator generator(rng, schema, options);
+  BAGALG_ASSIGN_OR_RETURN(Expr e, generator.Generate());
+  // Invariant: the generator only builds well-typed expressions; verify
+  // against the real checker so the fuzz suite rests on solid ground.
+  BAGALG_RETURN_IF_ERROR(TypeOf(e, schema).status());
+  return e;
+}
+
+}  // namespace bagalg

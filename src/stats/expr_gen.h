@@ -1,0 +1,51 @@
+#ifndef BAGALG_STATS_EXPR_GEN_H_
+#define BAGALG_STATS_EXPR_GEN_H_
+
+/// \file expr_gen.h
+/// Type-directed random generation of BALG expressions.
+///
+/// The fuzz property suites need a stream of *well-typed* expressions over
+/// a schema: the generator grows a pool of typed subexpressions from the
+/// schema's inputs and constants, repeatedly applying operators whose
+/// typing rules admit the operands, within a bag-nesting budget (so the
+/// output stays inside a chosen BALG^k fragment). Properties checked
+/// downstream: static type soundness of evaluation ("well-typed queries
+/// don't go wrong"), rewriter equivalence, genericity under atom
+/// permutation, and printer/parser round-trips.
+
+#include "src/algebra/database.h"
+#include "src/algebra/expr.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace bagalg {
+
+/// Knobs for the generator.
+struct ExprGenOptions {
+  /// Number of operator-application rounds (final expression size grows
+  /// roughly linearly with this).
+  int growth_rounds = 12;
+  /// Max bag nesting of any subexpression type (the BALG^k bound).
+  int max_bag_nesting = 2;
+  /// Operator toggles.
+  bool allow_powerset = true;
+  bool allow_powerbag = false;
+  bool allow_dup_elim = true;
+  bool allow_monus = true;
+  /// nest/unnest (§7 extensions) — off by default so the generated
+  /// fragment matches engines that do not implement them (e.g. the
+  /// BALG¹ pipeline).
+  bool allow_nest = false;
+  /// Atom pool size for generated constants / selection constants.
+  size_t num_const_atoms = 3;
+};
+
+/// Generates a random well-typed bag-denoting expression over `schema`.
+/// Every input in the schema must have a bag type. The result is
+/// guaranteed to pass TypeOf(expr, schema).
+Result<Expr> RandomExpr(Rng& rng, const Schema& schema,
+                        const ExprGenOptions& options = ExprGenOptions{});
+
+}  // namespace bagalg
+
+#endif  // BAGALG_STATS_EXPR_GEN_H_

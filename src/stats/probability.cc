@@ -1,0 +1,74 @@
+#include "src/stats/probability.h"
+
+#include <cassert>
+
+#include "src/algebra/builder.h"
+#include "src/algebra/derived.h"
+#include "src/algebra/eval.h"
+#include "src/stats/sampler.h"
+
+namespace bagalg {
+
+Result<ProbabilityEstimate> EstimateNonemptyProbability(
+    const Expr& query, const std::function<Database(Rng&)>& sampler,
+    size_t trials, Rng& rng) {
+  size_t hits = 0;
+  Evaluator eval;
+  for (size_t t = 0; t < trials; ++t) {
+    Database db = sampler(rng);
+    BAGALG_ASSIGN_OR_RETURN(Bag out, eval.EvalToBag(query, db));
+    if (!out.empty()) ++hits;
+  }
+  ProbabilityEstimate estimate;
+  estimate.trials = trials;
+  estimate.probability =
+      trials == 0 ? 0.0
+                  : static_cast<double>(hits) / static_cast<double>(trials);
+  return estimate;
+}
+
+namespace {
+
+Database SampleMonadicPair(Rng& rng, size_t n_atoms) {
+  std::vector<Value> atoms = AtomPool(n_atoms);
+  Database db;
+  Status st = db.Put("R", RandomMonadic(rng, atoms, 0.5));
+  assert(st.ok());
+  st = db.Put("S", RandomMonadic(rng, atoms, 0.5));
+  assert(st.ok());
+  // Keep schema stable even when a sampled bag came out empty.
+  st = db.Declare("R", Type::Bag(Type::Tuple({Type::Atom()})));
+  assert(st.ok());
+  st = db.Declare("S", Type::Bag(Type::Tuple({Type::Atom()})));
+  assert(st.ok());
+  (void)st;
+  return db;
+}
+
+}  // namespace
+
+Result<ProbabilityEstimate> ProbCardGreater(size_t n_atoms, size_t trials,
+                                            Rng& rng) {
+  Expr query = CardGreater(Input("R"), Input("S"));
+  return EstimateNonemptyProbability(
+      query, [n_atoms](Rng& r) { return SampleMonadicPair(r, n_atoms); },
+      trials, rng);
+}
+
+Result<ProbabilityEstimate> ProbNonemptyMonadic(size_t n_atoms, size_t trials,
+                                                Rng& rng) {
+  Expr query = Input("R");
+  return EstimateNonemptyProbability(
+      query, [n_atoms](Rng& r) { return SampleMonadicPair(r, n_atoms); },
+      trials, rng);
+}
+
+Result<ProbabilityEstimate> ProbCardEqual(size_t n_atoms, size_t trials,
+                                          Rng& rng) {
+  Expr query = CardEqual(Input("R"), Input("S"), MakeAtom("u"));
+  return EstimateNonemptyProbability(
+      query, [n_atoms](Rng& r) { return SampleMonadicPair(r, n_atoms); },
+      trials, rng);
+}
+
+}  // namespace bagalg

@@ -1,0 +1,55 @@
+#ifndef BAGALG_STATS_PROBABILITY_H_
+#define BAGALG_STATS_PROBABILITY_H_
+
+/// \file probability.h
+/// Asymptotic-probability experiments (paper §4, Example 4.2).
+///
+/// RALG boolean queries without constants obey a 0–1 law; BALG¹ does not:
+/// the cardinality-comparison query |R| > |S| has asymptotic probability
+/// 1/2 ([FGT93]). These estimators sample random instances, evaluate the
+/// *algebra expression* (not a shortcut), and report the empirical
+/// probability, letting bench_probability chart convergence toward the
+/// paper's limits.
+
+#include <functional>
+
+#include "src/algebra/database.h"
+#include "src/algebra/expr.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace bagalg {
+
+/// One estimate: fraction of sampled instances on which the query was
+/// nonempty.
+struct ProbabilityEstimate {
+  double probability = 0.0;
+  size_t trials = 0;
+};
+
+/// Estimates Pr[query(db) nonempty] over `trials` databases drawn from
+/// `sampler`. The query must be a bag-denoting BALG expression over the
+/// sampled schema.
+Result<ProbabilityEstimate> EstimateNonemptyProbability(
+    const Expr& query, const std::function<Database(Rng&)>& sampler,
+    size_t trials, Rng& rng);
+
+/// Example 4.2 experiment: random monadic R, S over n atoms (each atom kept
+/// with probability 1/2); query π1(R×R) − π1(R×S) ≠ ∅, i.e. |R| > |S|.
+/// Expected limit: 1/2.
+Result<ProbabilityEstimate> ProbCardGreater(size_t n_atoms, size_t trials,
+                                            Rng& rng);
+
+/// 0–1 law contrast: the constant-free RALG-style query "R is nonempty"
+/// over the same sampling. Expected limit: 1.
+Result<ProbabilityEstimate> ProbNonemptyMonadic(size_t n_atoms, size_t trials,
+                                                Rng& rng);
+
+/// Second contrast: the Härtig-style query |R| = |S| over the same
+/// sampling. Expected limit: 0 ([FGT93] — probabilities are 0, 1/2 or 1).
+Result<ProbabilityEstimate> ProbCardEqual(size_t n_atoms, size_t trials,
+                                          Rng& rng);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_STATS_PROBABILITY_H_

@@ -1,0 +1,81 @@
+#include "src/stats/sampler.h"
+
+#include <cassert>
+
+namespace bagalg {
+
+std::vector<Value> AtomPool(size_t n, const std::string& prefix) {
+  std::vector<Value> atoms;
+  atoms.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    atoms.push_back(MakeAtom(prefix + std::to_string(i)));
+  }
+  return atoms;
+}
+
+Bag RandomFlatBag(Rng& rng, const FlatBagSpec& spec) {
+  std::vector<Value> atoms = AtomPool(spec.num_atoms);
+  Bag::Builder builder;
+  for (size_t i = 0; i < spec.num_elements; ++i) {
+    std::vector<Value> fields;
+    fields.reserve(spec.arity);
+    for (size_t j = 0; j < spec.arity; ++j) {
+      fields.push_back(atoms[rng.Below(atoms.size())]);
+    }
+    builder.Add(Value::Tuple(std::move(fields)),
+                Mult(rng.Range(1, spec.max_mult)));
+  }
+  auto bag = std::move(builder).Build();
+  assert(bag.ok());
+  return std::move(bag).value();
+}
+
+Bag RandomNestedBag(Rng& rng, size_t outer, const FlatBagSpec& inner_spec) {
+  Bag::Builder builder;
+  for (size_t i = 0; i < outer; ++i) {
+    builder.Add(Value::FromBag(RandomFlatBag(rng, inner_spec)),
+                Mult(rng.Range(1, inner_spec.max_mult)));
+  }
+  auto bag = std::move(builder).Build();
+  assert(bag.ok());
+  return std::move(bag).value();
+}
+
+Bag RandomGraph(Rng& rng, size_t num_nodes, double p) {
+  std::vector<Value> nodes = AtomPool(num_nodes, "v");
+  Bag::Builder builder;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    for (size_t j = 0; j < num_nodes; ++j) {
+      if (rng.Coin(p)) {
+        builder.AddOne(Value::Tuple({nodes[i], nodes[j]}));
+      }
+    }
+  }
+  auto bag = std::move(builder).Build();
+  assert(bag.ok());
+  return std::move(bag).value();
+}
+
+Bag RandomMonadic(Rng& rng, const std::vector<Value>& atoms, double p) {
+  Bag::Builder builder;
+  for (const Value& a : atoms) {
+    if (rng.Coin(p)) builder.AddOne(Value::Tuple({a}));
+  }
+  auto bag = std::move(builder).Build();
+  assert(bag.ok());
+  return std::move(bag).value();
+}
+
+Bag TotalOrderLeq(const std::vector<Value>& atoms) {
+  Bag::Builder builder;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    for (size_t j = i; j < atoms.size(); ++j) {
+      builder.AddOne(Value::Tuple({atoms[i], atoms[j]}));
+    }
+  }
+  auto bag = std::move(builder).Build();
+  assert(bag.ok());
+  return std::move(bag).value();
+}
+
+}  // namespace bagalg

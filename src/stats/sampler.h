@@ -1,0 +1,61 @@
+#ifndef BAGALG_STATS_SAMPLER_H_
+#define BAGALG_STATS_SAMPLER_H_
+
+/// \file sampler.h
+/// Random instance generators.
+///
+/// Property tests draw random bags/databases from these samplers, and the
+/// asymptotic-probability experiments (paper Example 4.2, the 0–1 law
+/// discussion of §4) draw random monadic instances and graphs. All sampling
+/// is driven by the deterministic Rng, so every experiment is reproducible
+/// from its seed.
+
+#include <string>
+#include <vector>
+
+#include "src/core/value.h"
+#include "src/util/result.h"
+#include "src/util/rng.h"
+
+namespace bagalg {
+
+/// Parameters for random flat bags.
+struct FlatBagSpec {
+  /// Tuple arity (0 allowed).
+  size_t arity = 2;
+  /// Number of atoms to draw field values from (atoms named a0..a<n-1> in
+  /// the global table).
+  size_t num_atoms = 4;
+  /// Number of element draws (distinct count will be <= this).
+  size_t num_elements = 6;
+  /// Multiplicities drawn uniformly from [1, max_mult].
+  uint64_t max_mult = 3;
+};
+
+/// The pool of atoms a0..a<n-1> as values.
+std::vector<Value> AtomPool(size_t n, const std::string& prefix = "a");
+
+/// A random bag of tuples per the spec.
+Bag RandomFlatBag(Rng& rng, const FlatBagSpec& spec);
+
+/// A random bag of bags of tuples (one nesting level): `outer` draws of
+/// inner bags sampled per `inner_spec`.
+Bag RandomNestedBag(Rng& rng, size_t outer, const FlatBagSpec& inner_spec);
+
+/// A random directed graph over atoms v0..v<n-1>: each ordered pair is an
+/// edge independently with probability p; result is a set-like bag of
+/// binary tuples.
+Bag RandomGraph(Rng& rng, size_t num_nodes, double p);
+
+/// A random monadic relation over the given atom pool: each atom is
+/// included (as a unary tuple, multiplicity 1) independently with
+/// probability p.
+Bag RandomMonadic(Rng& rng, const std::vector<Value>& atoms, double p);
+
+/// The reflexive total order bag {[ai, aj] : i <= j} over `atoms` in pool
+/// order — the order relation assumed by the §4 parity query.
+Bag TotalOrderLeq(const std::vector<Value>& atoms);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_STATS_SAMPLER_H_

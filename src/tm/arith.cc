@@ -1,0 +1,235 @@
+#include "src/tm/arith.h"
+
+#include "src/algebra/builder.h"
+#include "src/algebra/derived.h"
+
+namespace bagalg::tm {
+
+// ----------------------------------------------------------------- terms
+
+ArithTerm ArithTerm::Var(size_t index) {
+  ArithTerm t;
+  t.kind_ = Kind::kVar;
+  t.index_ = index;
+  return t;
+}
+
+ArithTerm ArithTerm::Const(uint64_t value) {
+  ArithTerm t;
+  t.kind_ = Kind::kConst;
+  t.value_ = value;
+  return t;
+}
+
+ArithTerm ArithTerm::Add(ArithTerm lhs, ArithTerm rhs) {
+  ArithTerm t;
+  t.kind_ = Kind::kAdd;
+  t.children_ = {std::move(lhs), std::move(rhs)};
+  return t;
+}
+
+ArithTerm ArithTerm::Mul(ArithTerm lhs, ArithTerm rhs) {
+  ArithTerm t;
+  t.kind_ = Kind::kMul;
+  t.children_ = {std::move(lhs), std::move(rhs)};
+  return t;
+}
+
+uint64_t ArithTerm::Eval(const std::vector<uint64_t>& assignment) const {
+  switch (kind_) {
+    case Kind::kVar:
+      return assignment[index_];
+    case Kind::kConst:
+      return value_;
+    case Kind::kAdd:
+      return lhs().Eval(assignment) + rhs().Eval(assignment);
+    case Kind::kMul:
+      return lhs().Eval(assignment) * rhs().Eval(assignment);
+  }
+  return 0;
+}
+
+// -------------------------------------------------------------- formulas
+
+ArithFormula ArithFormula::Eq(ArithTerm lhs, ArithTerm rhs) {
+  ArithFormula f;
+  f.kind_ = Kind::kEq;
+  f.terms_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+ArithFormula ArithFormula::And(ArithFormula lhs, ArithFormula rhs) {
+  ArithFormula f;
+  f.kind_ = Kind::kAnd;
+  f.children_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+ArithFormula ArithFormula::Or(ArithFormula lhs, ArithFormula rhs) {
+  ArithFormula f;
+  f.kind_ = Kind::kOr;
+  f.children_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+ArithFormula ArithFormula::Not(ArithFormula inner) {
+  ArithFormula f;
+  f.kind_ = Kind::kNot;
+  f.children_ = {std::move(inner)};
+  return f;
+}
+
+ArithFormula ArithFormula::Exists(size_t index, ArithFormula inner) {
+  ArithFormula f;
+  f.kind_ = Kind::kExists;
+  f.index_ = index;
+  f.children_ = {std::move(inner)};
+  return f;
+}
+
+bool ArithFormula::EvalNative(std::vector<uint64_t>& assignment,
+                              uint64_t bound) const {
+  switch (kind_) {
+    case Kind::kEq:
+      return lhs_term().Eval(assignment) == rhs_term().Eval(assignment);
+    case Kind::kAnd:
+      return child(0).EvalNative(assignment, bound) &&
+             child(1).EvalNative(assignment, bound);
+    case Kind::kOr:
+      return child(0).EvalNative(assignment, bound) ||
+             child(1).EvalNative(assignment, bound);
+    case Kind::kNot:
+      return !child(0).EvalNative(assignment, bound);
+    case Kind::kExists: {
+      uint64_t saved = assignment[index_];
+      for (uint64_t v = 0; v <= bound; ++v) {
+        assignment[index_] = v;
+        if (child(0).EvalNative(assignment, bound)) {
+          assignment[index_] = saved;
+          return true;
+        }
+      }
+      assignment[index_] = saved;
+      return false;
+    }
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- compiler
+
+namespace {
+
+/// Wraps a bag-of-integer-bags into 1-tuples so products apply.
+Expr WrapUnary(Expr e) { return Map(Tup({Var(0)}), std::move(e)); }
+
+/// The full assignment space D_0 × ... × D_{m-1} as m-tuples.
+Expr FullDomain(const std::vector<Expr>& domains) {
+  Expr out;
+  for (const Expr& d : domains) {
+    Expr wrapped = WrapUnary(d);
+    out = out.IsValid() ? Product(std::move(out), std::move(wrapped))
+                        : std::move(wrapped);
+  }
+  return out;
+}
+
+/// Compiles a term to an expression over the σ-bound assignment tuple
+/// (Var(0)), denoting the term's value as an integer bag of [a] tuples.
+Expr CompileTerm(const ArithTerm& term, const Value& a) {
+  switch (term.kind()) {
+    case ArithTerm::Kind::kVar:
+      return Proj(Var(0), term.var_index() + 1);
+    case ArithTerm::Kind::kConst:
+      return ConstBag(IntAsBag(term.const_value(), a));
+    case ArithTerm::Kind::kAdd:
+      return Uplus(CompileTerm(term.lhs(), a), CompileTerm(term.rhs(), a));
+    case ArithTerm::Kind::kMul:
+      // |x|·|y| copies of [a]: product then normalization (the lemma's
+      // "multiplication is simulated by ×").
+      return Map(Tup({ConstExpr(a)}),
+                 Product(CompileTerm(term.lhs(), a),
+                         CompileTerm(term.rhs(), a)));
+  }
+  return Expr();
+}
+
+class Compiler {
+ public:
+  Compiler(size_t num_vars, const std::vector<Expr>& domains, const Value& a)
+      : num_vars_(num_vars), domains_(domains), a_(a) {}
+
+  Result<Expr> Compile(const ArithFormula& f) {
+    switch (f.kind()) {
+      case ArithFormula::Kind::kEq: {
+        // Integer bags over a single unit tuple are equal iff the counts
+        // agree, so σ compares the compiled terms directly.
+        return Select(CompileTerm(f.lhs_term(), a_),
+                      CompileTerm(f.rhs_term(), a_), FullDomain(domains_));
+      }
+      case ArithFormula::Kind::kAnd: {
+        BAGALG_ASSIGN_OR_RETURN(Expr l, Compile(f.child(0)));
+        BAGALG_ASSIGN_OR_RETURN(Expr r, Compile(f.child(1)));
+        return Inter(std::move(l), std::move(r));
+      }
+      case ArithFormula::Kind::kOr: {
+        BAGALG_ASSIGN_OR_RETURN(Expr l, Compile(f.child(0)));
+        BAGALG_ASSIGN_OR_RETURN(Expr r, Compile(f.child(1)));
+        return Eps(Umax(std::move(l), std::move(r)));
+      }
+      case ArithFormula::Kind::kNot: {
+        // Complement w.r.t. the full assignment space (the lemma's
+        // negation rule).
+        BAGALG_ASSIGN_OR_RETURN(Expr c, Compile(f.child(0)));
+        return Monus(FullDomain(domains_), std::move(c));
+      }
+      case ArithFormula::Kind::kExists: {
+        size_t j = f.var_index();
+        if (j >= num_vars_) {
+          return Status::InvalidArgument("quantified variable out of range");
+        }
+        BAGALG_ASSIGN_OR_RETURN(Expr c, Compile(f.child(0)));
+        // Project x_j away, deduplicate, then re-attach its full domain and
+        // reorder the attributes back into place — the lemma's projection
+        // rule for ∃ (MAP + duplicate elimination).
+        std::vector<size_t> keep;
+        for (size_t i = 0; i < num_vars_; ++i) {
+          if (i != j) keep.push_back(i + 1);
+        }
+        Expr projected = Eps(ProjectAttrs(std::move(c), keep));
+        Expr rejoined = Product(std::move(projected), WrapUnary(domains_[j]));
+        // Attributes now: kept vars in order (positions 1..m-1), x_j last.
+        std::vector<size_t> reorder(num_vars_);
+        size_t pos = 1;
+        for (size_t i = 0; i < num_vars_; ++i) {
+          reorder[i] = (i == j) ? num_vars_ : pos++;
+        }
+        return ProjectAttrs(std::move(rejoined), reorder);
+      }
+    }
+    return Status::Internal("unhandled formula kind");
+  }
+
+ private:
+  size_t num_vars_;
+  const std::vector<Expr>& domains_;
+  const Value& a_;
+};
+
+}  // namespace
+
+Result<Expr> CompileBoundedFormula(const ArithFormula& formula,
+                                   size_t num_vars,
+                                   const std::vector<Expr>& domains,
+                                   const Value& a) {
+  if (domains.size() != num_vars || num_vars == 0) {
+    return Status::InvalidArgument(
+        "one domain expression is required per variable");
+  }
+  Compiler compiler(num_vars, domains, a);
+  BAGALG_ASSIGN_OR_RETURN(Expr compiled, compiler.Compile(formula));
+  // Satisfying assignments as a set (multiplicities carry no meaning).
+  return Eps(std::move(compiled));
+}
+
+}  // namespace bagalg::tm

@@ -1,0 +1,161 @@
+#include "src/tm/encoding.h"
+
+#include "src/algebra/builder.h"
+#include "src/algebra/derived.h"
+
+namespace bagalg::tm {
+
+namespace {
+
+/// Wraps a bag of bags into a bag of 1-tuples so Cartesian products apply.
+Expr WrapUnary(Expr e) { return Map(Tup({Var(0)}), std::move(e)); }
+
+Value SymAtomOf(char c) { return MakeAtom(std::string("tmsym_") + c); }
+Value StateAtomOf(const std::string& q) { return MakeAtom("tmq_" + q); }
+
+}  // namespace
+
+Expr CardNormalize(Expr e, const Value& a) {
+  return Map(Tup({ConstExpr(a)}), std::move(e));
+}
+
+Expr ExpBlowup(Expr e, const Value& a) {
+  return CardNormalize(Pow(Pow(CardNormalize(std::move(e), a))), a);
+}
+
+Expr ExpBlowupViaPowerbag(Expr e, const Value& a) {
+  return CardNormalize(Powbag(std::move(e)), a);
+}
+
+Expr ExpBlowupK(Expr e, int k, const Value& a) {
+  Expr current = CardNormalize(std::move(e), a);
+  for (int i = 0; i < k - 1; ++i) {
+    current = Pow(std::move(current));
+  }
+  return CardNormalize(std::move(current), a);
+}
+
+Expr IndexDomain(Expr e, int i, const Value& a) {
+  Expr current = CardNormalize(std::move(e), a);
+  for (int k = 0; k < i; ++k) {
+    current = ExpBlowup(std::move(current), a);
+  }
+  return Pow(std::move(current));
+}
+
+Expr MoveRelation(const TmSpec& spec, Expr index_domain, const Value& a) {
+  // One tick as a bag of [a] tuples, matching the index encoding.
+  Expr one = ConstBag(MakeBagOf({Value::Tuple({a})}));
+  Value g = MakeAtom("tmq__none");
+  Expr result;
+  for (const auto& [key, t] : spec.delta) {
+    const auto& [q1, s1] = key;
+    if (t.move == Move::kStay) continue;  // the paper's M covers L/R moves
+    for (char b : spec.Symbols()) {
+      // For a right move λ(s1,q1) = (R, s2, q2), each index y contributes
+      //   [ {{[y, s1, q1], [y⊎1, b, g]}}, {{[y, s2, g], [y⊎1, b, q2]}} ].
+      // A left move swaps the roles of y and y⊎1.
+      bool right = t.move == Move::kRight;
+      Expr y = Var(0);
+      Expr y1 = Uplus(Var(0), one);
+      Expr head_pos = right ? y : y1;
+      Expr other_pos = right ? y1 : y;
+      Expr before = Beta(Tup({head_pos, ConstExpr(SymAtomOf(s1)),
+                              ConstExpr(StateAtomOf(q1))}));
+      before = Uplus(std::move(before),
+                     Beta(Tup({other_pos, ConstExpr(SymAtomOf(b)),
+                               ConstExpr(g)})));
+      Expr after = Beta(Tup({right ? y : y1, ConstExpr(SymAtomOf(t.write)),
+                             ConstExpr(g)}));
+      after = Uplus(std::move(after),
+                    Beta(Tup({right ? y1 : y, ConstExpr(SymAtomOf(b)),
+                              ConstExpr(StateAtomOf(t.next))})));
+      Expr entry = Map(Tup({std::move(before), std::move(after)}),
+                       index_domain);
+      result = result.IsValid() ? Uplus(std::move(result), std::move(entry))
+                                : std::move(entry);
+    }
+  }
+  if (!result.IsValid()) result = ConstBag(Bag());
+  return result;
+}
+
+namespace {
+
+/// MAP λp.[α2(p), α1(p)] — the transpose of a bag of pairs.
+Expr SwapPairs(Expr o) {
+  return Map(Tup({Proj(Var(0), 2), Proj(Var(0), 1)}), std::move(o));
+}
+
+}  // namespace
+
+Expr LinearOrders(Expr r) {
+  Expr atoms = Eps(std::move(r));
+  Expr all_pairs = Product(atoms, atoms);
+  Expr diag = Map(Tup({Proj(Var(0), 1), Proj(Var(0), 1)}), atoms);
+
+  // Innermost filter — transitivity: compose(o, o) ⊆ o, where o = Var(0)
+  // is the candidate order picked from P(all_pairs). The subbag test is
+  // the σ equality c ∩ o = c on the deduplicated composition c.
+  Expr compose = Eps(ProjectAttrs(
+      Select(Proj(Var(0), 2), Proj(Var(0), 3), Product(Var(0), Var(0))),
+      {1, 4}));
+  Expr transitive =
+      Select(Inter(compose, Var(0)), compose, Pow(std::move(all_pairs)));
+
+  // Antisymmetry (with reflexivity): o ∩ swap(o) equals the diagonal.
+  Expr antisymmetric = Select(Inter(Var(0), SwapPairs(Var(0))),
+                              ShiftVars(diag, 0, 1), std::move(transitive));
+
+  // Totality + reflexivity: every pair appears in o or its transpose.
+  Expr all_pairs_again = Product(atoms, atoms);
+  Expr total = Select(Eps(Uplus(Var(0), SwapPairs(Var(0)))),
+                      ShiftVars(all_pairs_again, 0, 1),
+                      std::move(antisymmetric));
+  return total;
+}
+
+Expr Theorem61Skeleton(const TmSpec& spec, Expr b, int i, const Value& a) {
+  // Alphabet and state bags (wrapped as 1-tuples for the product).
+  Bag::Builder alphabet;
+  for (char c : spec.Symbols()) {
+    alphabet.AddOne(Value::Tuple({SymAtomOf(c)}));
+  }
+  Bag::Builder states;
+  for (const std::string& q : spec.States()) {
+    states.AddOne(Value::Tuple({StateAtomOf(q)}));
+  }
+  states.AddOne(Value::Tuple({MakeAtom("tmq__none")}));
+  Expr d = IndexDomain(std::move(b), i, a);
+  Expr cells = Product(Product(WrapUnary(d), WrapUnary(d)),
+                       Product(ConstBag(std::move(alphabet).Build().value()),
+                               ConstBag(std::move(states).Build().value())));
+  // All candidate computations: the powerset of the 4-ary cell space, then
+  // the paper's three selections. φ1 (initial configuration correct) and
+  // φ2 (consecutive configurations follow the move relation) reduce to
+  // subbag/membership tests; φ3 demands an accepting state. The skeleton
+  // instantiates φ3 exactly and uses membership-shaped placeholders for
+  // φ1/φ2 — the analysis-relevant structure (operator shapes, types, power
+  // nesting) matches the proof.
+  Expr candidates = Pow(std::move(cells));
+  Value accept = StateAtomOf(spec.accept_state);
+  // φ3: the computation contains a cell in the accepting state:
+  //   σ_{λc. σ_{λy. α4(y) = acc}(c) ≠ ∅}. Emptiness-as-equality: compare
+  //   ε of the selection against the ε of c ∩ selection... Simplest exact
+  //   form: keep c with σ_{acc}(c) == σ_{acc}(c) ∩ c (always true) is
+  //   useless; instead require β-membership: the accepting sub-selection
+  //   deduplicated equals a one-element normalization. We use the
+  //   σ ≠ ∅ test via monus: ε(N(σ_acc(c))) == {{[a]}}.
+  Expr acc_cells = Select(Proj(Var(0), 4), ConstExpr(accept), Var(0));
+  Expr lhs = Eps(Map(Tup({ConstExpr(a)}), std::move(acc_cells)));
+  Expr rhs = ConstBag(MakeBagOf({Value::Tuple({a})}));
+  Expr phi3 = Select(std::move(lhs), std::move(rhs), std::move(candidates));
+  // φ2 placeholder: computations closed under the move shape — modeled as
+  // a self-intersection selection c == c ∩ c (type-faithful, trivially
+  // true); φ1 placeholder likewise on the time-1 slice.
+  Expr phi2 = Select(Var(0), Inter(Var(0), Var(0)), std::move(phi3));
+  Expr phi1 = Select(Var(0), Var(0), std::move(phi2));
+  return phi1;
+}
+
+}  // namespace bagalg::tm

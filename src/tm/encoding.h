@@ -1,0 +1,74 @@
+#ifndef BAGALG_TM_ENCODING_H_
+#define BAGALG_TM_ENCODING_H_
+
+/// \file encoding.h
+/// The Theorem 6.1 / Theorem 5.5 expression builders.
+///
+/// The paper simulates hyper(i)-time Turing machines inside BALG³ by
+/// building bag-encoded integer domains:
+///   N(B)            — |B| copies of the unit tuple [a]
+///   E(B) = N(P(P(N(B))))     — exponential blow-up (2^{|B|+1} copies)
+///   E_b(B) = N(P_b(B))       — exact 2^{|B|} copies (the powerbag variant
+///                              of Theorem 5.5 / Lemma 5.7)
+///   D_i(B) = P(E^i(B))       — the bag of all integer bags up to the
+///                              hyper(i)-sized bound, used as time/space
+///                              index domain
+/// plus the move relation M(B) and the final P(D×D×A×Q)-shaped selection.
+/// The full Theorem 6.1 expression is hyperexponential *by design*; this
+/// module builds it so its types and power nesting can be *measured*
+/// (the proof says 2i+2 nested powersets), and evaluates only the
+/// component builders on micro inputs. The runnable Turing-completeness
+/// path is ifp_compiler.h.
+
+#include "src/algebra/expr.h"
+#include "src/tm/machine.h"
+
+namespace bagalg::tm {
+
+/// N(B): the cardinality of e re-encoded as |e| copies of the tuple [a].
+Expr CardNormalize(Expr e, const Value& a);
+
+/// E(B) = N(P(P(N(B)))): 2^{|B|+1} copies of [a]. (The paper's doubling
+/// expression; the +1 in the exponent comes from P counting the empty
+/// subbag, and is irrelevant to the growth hierarchy.)
+Expr ExpBlowup(Expr e, const Value& a);
+
+/// E_b(B) = N(P_b(B)): exactly 2^{|B|} copies of [a] (Theorem 5.5 form).
+Expr ExpBlowupViaPowerbag(Expr e, const Value& a);
+
+/// The Proposition 6.3 generalization for BALG^k: E(B) = N(P^{k-1}(N(B)))
+/// — k−1 consecutive powersets, legal once k levels of nesting are
+/// available, driving the hyper((k−2)·i) time hierarchy. k = 3 recovers
+/// ExpBlowup.
+Expr ExpBlowupK(Expr e, int k, const Value& a);
+
+/// D_i(B) = P(E^i(B)): one occurrence of every integer bag from 0 up to
+/// the i-fold-exponential bound. i = 0 gives P(N(B)).
+Expr IndexDomain(Expr e, int i, const Value& a);
+
+/// The Theorem 6.1 move relation M(B): for every machine transition and
+/// every alphabet symbol b, a pair [before, after] of partial
+/// configurations over the position domain `index_domain`, where a partial
+/// configuration is a bag of [position, symbol, state-or-marker] triples.
+/// Evaluable for micro domains; type has bag nesting 3.
+Expr MoveRelation(const TmSpec& spec, Expr index_domain, const Value& a);
+
+/// The "guess an order" device of Theorem 6.1's encoding phase: from a bag
+/// of unary tuples R (the constants to order), builds the bag of *all
+/// reflexive total orders* over ε(R) — each order a set-like bag of pairs
+/// [x, y] meaning x ≤ y, each appearing exactly once. Construction: the
+/// powerset of ε(R) × ε(R) filtered by three selections (totality +
+/// reflexivity, antisymmetry, transitivity), all expressed with σ equality
+/// tests. The output has n! members for n distinct constants.
+Expr LinearOrders(Expr r);
+
+/// The full Theorem 6.1 shape σφ3(σφ2(σφ1(P(D×D×A×Q)))) with the paper's
+/// selection structure. Returned for *static analysis* — its power nesting
+/// must come out as 2i+2 — and for resource-limit experiments; evaluating
+/// it on anything but empty inputs exceeds any reasonable budget, which is
+/// precisely Proposition 3.2's point.
+Expr Theorem61Skeleton(const TmSpec& spec, Expr b, int i, const Value& a);
+
+}  // namespace bagalg::tm
+
+#endif  // BAGALG_TM_ENCODING_H_

@@ -1,0 +1,74 @@
+#ifndef BAGALG_TM_IFP_COMPILER_H_
+#define BAGALG_TM_IFP_COMPILER_H_
+
+/// \file ifp_compiler.h
+/// Theorem 6.6: BALG² + inflationary fixpoint is Turing complete.
+///
+/// Compiles a Turing machine into a single BALG²+IFP expression that
+/// simulates it inside the bag algebra. Following the paper's encoding, a
+/// computation is a bag of 4-tuples [t, p, s, q]: at time t (a bag of t
+/// "tick" atoms) the tape cell p (likewise a bag) holds symbol s, with q
+/// the machine state if the head is on that cell and the marker "no-head"
+/// otherwise. The fixpoint body derives the time-(t ⊎ 1) configuration
+/// from the time-t one — head movement is literally bag arithmetic,
+/// p ⊎ {{tick}} and p ∸ {{tick}}, the reason the paper indexes with bags —
+/// and a gate built from monus emptiness testing stops derivation once a
+/// halting state appears, so the inflationary iteration reaches a fixpoint.
+///
+/// The initial-configuration encoding and final decoding are host-side
+/// (the paper's phase (-) and the inverse of enc; the in-algebra guessing
+/// construction of Theorem 6.1 is built — and measured — in encoding.h).
+/// The simulation phase (the paper's phase (+)) runs entirely through the
+/// algebra evaluator.
+
+#include <string>
+
+#include "src/algebra/eval.h"
+#include "src/algebra/expr.h"
+#include "src/tm/machine.h"
+
+namespace bagalg::tm {
+
+/// A compiled machine: the IFP expression plus the naming conventions
+/// needed to encode/decode configurations.
+class CompiledMachine {
+ public:
+  /// Compiles `spec`. The returned expression reads the initial
+  /// configuration from input bag `input_name`.
+  static CompiledMachine Compile(const TmSpec& spec,
+                                 const std::string& input_name = "Init");
+
+  /// The full BALG²+IFP simulation expression.
+  const Expr& expression() const { return expr_; }
+  const TmSpec& spec() const { return spec_; }
+
+  /// Encodes "tape = input, head on cell 1, state q0, time 1" as the
+  /// initial configuration bag, padding the tape with blanks to
+  /// `tape_cells` cells (the head must stay within this region; the run
+  /// reports failure otherwise).
+  Result<Bag> EncodeInitialConfig(const std::string& input,
+                                  size_t tape_cells) const;
+
+  /// Decodes the final configuration out of a fixpoint bag: the halting
+  /// tuple's time stamp selects the final tape/state. NotFound if no
+  /// halting state is present (head escaped the padded region or the
+  /// machine exceeded the iteration budget).
+  Result<TmResult> DecodeResult(const Bag& fixpoint) const;
+
+ private:
+  TmSpec spec_;
+  std::string input_name_;
+  Expr expr_;
+};
+
+/// End-to-end: compile, encode, run through the algebra evaluator, decode.
+/// `tape_cells` bounds the tape region; `limits` bounds the evaluation.
+Result<TmResult> RunMachineViaAlgebra(const TmSpec& spec,
+                                      const std::string& input,
+                                      size_t tape_cells,
+                                      const Limits& limits = Limits::Default(),
+                                      EvalStats* stats = nullptr);
+
+}  // namespace bagalg::tm
+
+#endif  // BAGALG_TM_IFP_COMPILER_H_

@@ -1,0 +1,139 @@
+#include "src/tm/machine.h"
+
+#include <set>
+
+namespace bagalg::tm {
+
+std::vector<std::string> TmSpec::States() const {
+  std::set<std::string> states = {initial_state, accept_state, reject_state};
+  for (const auto& [key, t] : delta) {
+    states.insert(key.first);
+    states.insert(t.next);
+  }
+  return std::vector<std::string>(states.begin(), states.end());
+}
+
+std::vector<char> TmSpec::Symbols() const {
+  std::set<char> symbols = {blank};
+  for (const auto& [key, t] : delta) {
+    symbols.insert(key.second);
+    symbols.insert(t.write);
+  }
+  return std::vector<char>(symbols.begin(), symbols.end());
+}
+
+Result<TmResult> RunMachine(const TmSpec& spec, const std::string& input,
+                            uint64_t max_steps) {
+  std::string tape = input;
+  if (tape.empty()) tape.push_back(spec.blank);
+  size_t head = 0;
+  std::string state = spec.initial_state;
+  TmResult result;
+  while (result.steps < max_steps) {
+    if (state == spec.accept_state || state == spec.reject_state) {
+      result.halted = true;
+      result.accepted = state == spec.accept_state;
+      break;
+    }
+    auto it = spec.delta.find({state, tape[head]});
+    if (it == spec.delta.end()) {
+      // A missing transition rejects, taking one (implicit) step — the
+      // same convention the algebra-compiled machine uses.
+      result.halted = true;
+      result.accepted = false;
+      state = spec.reject_state;
+      ++result.steps;
+      break;
+    }
+    tape[head] = it->second.write;
+    switch (it->second.move) {
+      case Move::kLeft:
+        if (head == 0) {
+          return Status::InvalidArgument(
+              "machine moved left of cell 0 (tape is one-way infinite)");
+        }
+        --head;
+        break;
+      case Move::kRight:
+        ++head;
+        if (head == tape.size()) tape.push_back(spec.blank);
+        break;
+      case Move::kStay:
+        break;
+    }
+    state = it->second.next;
+    ++result.steps;
+  }
+  if (!result.halted) {
+    return Status::ResourceExhausted(spec.name + " did not halt within " +
+                                     std::to_string(max_steps) + " steps");
+  }
+  while (!tape.empty() && tape.back() == spec.blank) tape.pop_back();
+  result.final_tape = std::move(tape);
+  result.final_state = std::move(state);
+  return result;
+}
+
+TmSpec UnaryIncrementMachine() {
+  TmSpec m;
+  m.name = "unary-increment";
+  m.initial_state = "scan";
+  m.accept_state = "acc";
+  m.reject_state = "rej";
+  m.delta[{"scan", '1'}] = {"scan", '1', Move::kRight};
+  m.delta[{"scan", '_'}] = {"acc", '1', Move::kStay};
+  return m;
+}
+
+TmSpec EvenOnesMachine() {
+  TmSpec m;
+  m.name = "even-ones";
+  m.initial_state = "even";
+  m.accept_state = "acc";
+  m.reject_state = "rej";
+  m.delta[{"even", '1'}] = {"odd", '1', Move::kRight};
+  m.delta[{"odd", '1'}] = {"even", '1', Move::kRight};
+  m.delta[{"even", '_'}] = {"acc", 'Y', Move::kStay};
+  m.delta[{"odd", '_'}] = {"rej", 'N', Move::kStay};
+  return m;
+}
+
+TmSpec AnBnMachine() {
+  TmSpec m;
+  m.name = "anbn";
+  m.initial_state = "start";
+  m.accept_state = "acc";
+  m.reject_state = "rej";
+  // start: on 'a' mark X, scan right for a matching 'b'; on 'Y' all a's
+  // consumed — verify only Y's remain; on blank (empty word) accept.
+  m.delta[{"start", 'a'}] = {"findb", 'X', Move::kRight};
+  m.delta[{"start", 'Y'}] = {"verify", 'Y', Move::kRight};
+  m.delta[{"start", '_'}] = {"acc", '_', Move::kStay};
+  // findb: skip a's and Y's, mark the first 'b' as Y, head back left.
+  m.delta[{"findb", 'a'}] = {"findb", 'a', Move::kRight};
+  m.delta[{"findb", 'Y'}] = {"findb", 'Y', Move::kRight};
+  m.delta[{"findb", 'b'}] = {"back", 'Y', Move::kLeft};
+  // back: return to the cell right of the last X.
+  m.delta[{"back", 'a'}] = {"back", 'a', Move::kLeft};
+  m.delta[{"back", 'Y'}] = {"back", 'Y', Move::kLeft};
+  m.delta[{"back", 'X'}] = {"start", 'X', Move::kRight};
+  // verify: only Y's then blank.
+  m.delta[{"verify", 'Y'}] = {"verify", 'Y', Move::kRight};
+  m.delta[{"verify", '_'}] = {"acc", '_', Move::kStay};
+  return m;
+}
+
+TmSpec BinaryIncrementMachine() {
+  TmSpec m;
+  m.name = "binary-increment";
+  m.initial_state = "carry";
+  m.accept_state = "acc";
+  m.reject_state = "rej";
+  // LSB-first: propagate the carry right until a 0 or blank absorbs it.
+  m.delta[{"carry", '1'}] = {"carry", '0', Move::kRight};
+  m.delta[{"carry", '0'}] = {"acc", '1', Move::kStay};
+  m.delta[{"carry", '_'}] = {"acc", '1', Move::kStay};
+  return m;
+}
+
+}  // namespace bagalg::tm

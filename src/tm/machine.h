@@ -1,0 +1,82 @@
+#ifndef BAGALG_TM_MACHINE_H_
+#define BAGALG_TM_MACHINE_H_
+
+/// \file machine.h
+/// Deterministic single-tape Turing machines.
+///
+/// The substrate for the paper's simulation results: Theorem 5.5 (hyper(i)
+/// queries via powerbag), Theorem 6.1 (BALG³ captures the elementary
+/// queries), and Theorem 6.6 (BALG²+IFP is Turing complete). The native
+/// simulator here is the ground truth the algebra-compiled machines
+/// (ifp_compiler.h) are tested against.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace bagalg::tm {
+
+/// Head movement.
+enum class Move { kLeft, kRight, kStay };
+
+/// One transition: in (state, symbol), write `write`, move, goto `next`.
+struct Transition {
+  std::string next;
+  char write;
+  Move move;
+};
+
+/// A deterministic single-tape machine. Symbols are chars; `blank` pads the
+/// tape. Halts on reaching `accept_state` or `reject_state`, or when no
+/// transition applies (treated as reject).
+struct TmSpec {
+  std::string name;
+  std::string initial_state;
+  std::string accept_state;
+  std::string reject_state;
+  char blank = '_';
+  std::map<std::pair<std::string, char>, Transition> delta;
+
+  /// All states mentioned anywhere in the spec.
+  std::vector<std::string> States() const;
+  /// All tape symbols mentioned anywhere in the spec.
+  std::vector<char> Symbols() const;
+};
+
+/// Outcome of a run.
+struct TmResult {
+  bool halted = false;
+  bool accepted = false;
+  uint64_t steps = 0;
+  std::string final_tape;  // trailing blanks trimmed
+  std::string final_state;
+};
+
+/// Runs the machine natively on `input` (head starts at cell 0). Fails with
+/// ResourceExhausted after `max_steps`, or InvalidArgument if the head
+/// would move left of cell 0 (the paper's one-way-infinite tape).
+Result<TmResult> RunMachine(const TmSpec& spec, const std::string& input,
+                            uint64_t max_steps = 100000);
+
+// ------------------------------------------------------- sample machines
+
+/// Appends one '1' to a unary string: "111" -> "1111". Always accepts.
+TmSpec UnaryIncrementMachine();
+
+/// Accepts iff the number of '1's is even; writes 'Y'/'N' over the first
+/// blank as a visible verdict.
+TmSpec EvenOnesMachine();
+
+/// Accepts the language a^n b^n (classic zig-zag marker machine).
+TmSpec AnBnMachine();
+
+/// Binary increment on a reversed (LSB-first) bit string: "110" (= 3)
+/// becomes "001" (= 4). Always accepts.
+TmSpec BinaryIncrementMachine();
+
+}  // namespace bagalg::tm
+
+#endif  // BAGALG_TM_MACHINE_H_

@@ -1,0 +1,68 @@
+#ifndef BAGALG_UTIL_BIGINT_H_
+#define BAGALG_UTIL_BIGINT_H_
+
+/// \file bigint.h
+/// Signed arbitrary-precision integers (sign–magnitude over BigNat).
+///
+/// Used by the Proposition 4.1 count analysis, whose polynomials subtract:
+/// the coefficients of P_t(n) = P¹_t(n) − P²_t(n) may be negative even
+/// though every realized count is a natural number.
+
+#include <ostream>
+#include <string>
+
+#include "src/util/bignat.h"
+
+namespace bagalg {
+
+/// A signed arbitrary-precision integer.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  BigInt(int64_t v);  // NOLINT(google-explicit-constructor): literal
+                      // ergonomics in polynomial code.
+  /// From a natural number (non-negative).
+  explicit BigInt(BigNat magnitude)
+      : negative_(false), magnitude_(std::move(magnitude)) {}
+  /// From sign and magnitude (negative zero normalizes to zero).
+  BigInt(bool negative, BigNat magnitude);
+
+  bool IsZero() const { return magnitude_.IsZero(); }
+  bool IsNegative() const { return negative_; }
+  bool IsPositive() const { return !negative_ && !magnitude_.IsZero(); }
+  const BigNat& magnitude() const { return magnitude_; }
+
+  /// The value as a BigNat; InvalidArgument if negative.
+  Result<BigNat> ToBigNat() const;
+
+  BigInt operator-() const { return BigInt(!negative_, magnitude_); }
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const { return *this + (-other); }
+  BigInt operator*(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+
+  /// Three-way comparison.
+  int Compare(const BigInt& other) const;
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  std::string ToString() const;
+
+ private:
+  bool negative_ = false;
+  BigNat magnitude_;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& n);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_UTIL_BIGINT_H_

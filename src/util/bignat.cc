@@ -1,0 +1,294 @@
+#include "src/util/bignat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bagalg {
+
+namespace {
+constexpr uint64_t kLimbBase = uint64_t{1} << 32;
+}  // namespace
+
+BigNat::BigNat(uint64_t v) {
+  if (v == 0) return;
+  limbs_.push_back(static_cast<uint32_t>(v & 0xffffffffu));
+  uint32_t hi = static_cast<uint32_t>(v >> 32);
+  if (hi != 0) limbs_.push_back(hi);
+}
+
+void BigNat::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Result<BigNat> BigNat::FromDecimal(std::string_view text) {
+  if (text.empty()) {
+    return Status::ParseError("empty string is not a decimal number");
+  }
+  BigNat out;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError(std::string("invalid decimal digit '") + c +
+                                "'");
+    }
+    out.MulAddSmallInPlace(10, static_cast<uint32_t>(c - '0'));
+  }
+  return out;
+}
+
+BigNat BigNat::TwoPow(uint64_t exp) {
+  BigNat out;
+  size_t limb = static_cast<size_t>(exp / 32);
+  unsigned bit = static_cast<unsigned>(exp % 32);
+  out.limbs_.assign(limb + 1, 0);
+  out.limbs_[limb] = uint32_t{1} << bit;
+  return out;
+}
+
+BigNat BigNat::Pow(const BigNat& base, uint64_t exp) {
+  BigNat result(1);
+  BigNat b = base;
+  while (exp > 0) {
+    if (exp & 1) result *= b;
+    b *= b;
+    exp >>= 1;
+  }
+  return result;
+}
+
+size_t BigNat::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+size_t BigNat::DecimalDigits() const { return ToString().size(); }
+
+Result<uint64_t> BigNat::ToUint64() const {
+  if (!FitsUint64()) {
+    return Status::InvalidArgument("BigNat value exceeds uint64 range");
+  }
+  uint64_t v = 0;
+  if (limbs_.size() >= 1) v |= limbs_[0];
+  if (limbs_.size() == 2) v |= uint64_t{limbs_[1]} << 32;
+  return v;
+}
+
+double BigNat::ToDouble() const {
+  double v = 0.0;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    v = v * static_cast<double>(kLimbBase) + static_cast<double>(*it);
+  }
+  return v;
+}
+
+void BigNat::MulAddSmallInPlace(uint32_t mul, uint32_t add) {
+  uint64_t carry = add;
+  for (uint32_t& limb : limbs_) {
+    uint64_t cur = uint64_t{limb} * mul + carry;
+    limb = static_cast<uint32_t>(cur & 0xffffffffu);
+    carry = cur >> 32;
+  }
+  while (carry != 0) {
+    limbs_.push_back(static_cast<uint32_t>(carry & 0xffffffffu));
+    carry >>= 32;
+  }
+  Normalize();
+}
+
+uint32_t BigNat::DivSmallInPlace(uint32_t divisor) {
+  assert(divisor != 0);
+  uint64_t rem = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    uint64_t cur = (rem << 32) | limbs_[i];
+    limbs_[i] = static_cast<uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  Normalize();
+  return static_cast<uint32_t>(rem);
+}
+
+std::string BigNat::ToString() const {
+  if (limbs_.empty()) return "0";
+  BigNat tmp = *this;
+  std::string digits;
+  while (!tmp.IsZero()) {
+    // Peel 9 decimal digits at a time.
+    uint32_t chunk = tmp.DivSmallInPlace(1000000000u);
+    bool last = tmp.IsZero();
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+      if (last && chunk == 0) break;
+    }
+  }
+  // Strip spurious leading (now trailing) zeros, keep at least one digit.
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+int BigNat::Compare(const BigNat& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigNat BigNat::operator+(const BigNat& other) const {
+  BigNat out;
+  size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t cur = carry;
+    if (i < limbs_.size()) cur += limbs_[i];
+    if (i < other.limbs_.size()) cur += other.limbs_[i];
+    out.limbs_.push_back(static_cast<uint32_t>(cur & 0xffffffffu));
+    carry = cur >> 32;
+  }
+  if (carry != 0) out.limbs_.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+BigNat BigNat::MonusSub(const BigNat& other) const {
+  if (*this <= other) return BigNat();
+  auto r = CheckedSub(other);
+  assert(r.ok());
+  return std::move(r).value();
+}
+
+Result<BigNat> BigNat::CheckedSub(const BigNat& other) const {
+  if (*this < other) {
+    return Status::InvalidArgument("BigNat subtraction underflow");
+  }
+  BigNat out;
+  out.limbs_.reserve(limbs_.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t cur = static_cast<int64_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) cur -= other.limbs_[i];
+    if (cur < 0) {
+      cur += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<uint32_t>(cur));
+  }
+  assert(borrow == 0);
+  out.Normalize();
+  return out;
+}
+
+BigNat BigNat::operator*(const BigNat& other) const {
+  if (IsZero() || other.IsZero()) return BigNat();
+  BigNat out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t a = limbs_[i];
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + a * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigNat BigNat::ShiftLeftBits(unsigned bits) const {
+  assert(bits < 32);
+  if (bits == 0 || IsZero()) return *this;
+  BigNat out;
+  out.limbs_.reserve(limbs_.size() + 1);
+  uint32_t carry = 0;
+  for (uint32_t limb : limbs_) {
+    out.limbs_.push_back((limb << bits) | carry);
+    carry = static_cast<uint32_t>(uint64_t{limb} >> (32 - bits));
+  }
+  if (carry != 0) out.limbs_.push_back(carry);
+  return out;
+}
+
+BigNat BigNat::ShiftRightBits(unsigned bits) const {
+  assert(bits < 32);
+  if (bits == 0 || IsZero()) return *this;
+  BigNat out;
+  out.limbs_.resize(limbs_.size());
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t cur = uint64_t{limbs_[i]} >> bits;
+    if (i + 1 < limbs_.size()) {
+      cur |= uint64_t{limbs_[i + 1]} << (32 - bits) & 0xffffffffu;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(cur);
+  }
+  out.Normalize();
+  return out;
+}
+
+Result<BigNat::DivModResult> BigNat::DivMod(const BigNat& divisor) const {
+  if (divisor.IsZero()) {
+    return Status::InvalidArgument("BigNat division by zero");
+  }
+  if (*this < divisor) {
+    return DivModResult{BigNat(), *this};
+  }
+  if (divisor.limbs_.size() == 1) {
+    BigNat q = *this;
+    uint32_t r = q.DivSmallInPlace(divisor.limbs_[0]);
+    return DivModResult{std::move(q), BigNat(r)};
+  }
+  // Binary long division: adequate for the limb counts bagalg reaches
+  // (division only appears in aggregate averages and encodings).
+  BigNat quotient;
+  BigNat remainder;
+  size_t bits = BitLength();
+  quotient.limbs_.assign((bits + 31) / 32, 0);
+  for (size_t i = bits; i-- > 0;) {
+    remainder = remainder.ShiftLeftBits(1);
+    uint32_t bit = (limbs_[i / 32] >> (i % 32)) & 1u;
+    if (bit) {
+      if (remainder.limbs_.empty()) remainder.limbs_.push_back(0);
+      remainder.limbs_[0] |= 1u;
+    }
+    if (remainder >= divisor) {
+      remainder = remainder.MonusSub(divisor);
+      quotient.limbs_[i / 32] |= uint32_t{1} << (i % 32);
+    }
+  }
+  quotient.Normalize();
+  return DivModResult{std::move(quotient), std::move(remainder)};
+}
+
+size_t BigNat::Hash() const {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (uint32_t limb : limbs_) {
+    h ^= limb + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigNat& n) {
+  return os << n.ToString();
+}
+
+}  // namespace bagalg

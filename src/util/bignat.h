@@ -1,0 +1,125 @@
+#ifndef BAGALG_UTIL_BIGNAT_H_
+#define BAGALG_UTIL_BIGNAT_H_
+
+/// \file bignat.h
+/// Arbitrary-precision natural numbers.
+///
+/// BALG multiplicities explode hyperexponentially under iterated powerset /
+/// bag-destroy chains (paper, Proposition 3.2): (deltaP)^i produces counts
+/// exponential in the input and (delta delta P P)^i produces hyper(i+1)
+/// counts. A 64-bit counter overflows immediately on the workloads of
+/// bench_prop32_explosion, so multiplicities are BigNat throughout the
+/// engine. The representation is a normalized little-endian vector of 32-bit
+/// limbs; arithmetic is schoolbook, which is ample for the limb counts the
+/// experiments reach.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace bagalg {
+
+/// An immutable-in-interface, arbitrary-precision natural number.
+class BigNat {
+ public:
+  /// Zero.
+  BigNat() = default;
+  /// From a machine integer.
+  BigNat(uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal
+                       // ergonomics; multiplicities are written inline in
+                       // tests and benches throughout.
+
+  /// Parses a non-empty decimal string of digits. Leading zeros allowed.
+  static Result<BigNat> FromDecimal(std::string_view text);
+
+  /// 2^exp.
+  static BigNat TwoPow(uint64_t exp);
+  /// base^exp by square-and-multiply.
+  static BigNat Pow(const BigNat& base, uint64_t exp);
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOne() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Number of significant bits (0 for zero).
+  size_t BitLength() const;
+  /// Number of decimal digits (1 for zero).
+  size_t DecimalDigits() const;
+
+  /// True iff the value fits in uint64_t.
+  bool FitsUint64() const { return limbs_.size() <= 2; }
+  /// The value as uint64_t; error if it does not fit.
+  Result<uint64_t> ToUint64() const;
+  /// The value as a double (may lose precision; +inf on huge values).
+  double ToDouble() const;
+
+  /// Decimal rendering.
+  std::string ToString() const;
+
+  /// Three-way comparison: negative, zero, positive.
+  int Compare(const BigNat& other) const;
+
+  BigNat operator+(const BigNat& other) const;
+  /// Truncated ("monus") subtraction: max(0, *this - other). This is the
+  /// subtraction semantics of the paper's bag difference.
+  BigNat MonusSub(const BigNat& other) const;
+  /// Exact subtraction; error (InvalidArgument) on underflow.
+  Result<BigNat> CheckedSub(const BigNat& other) const;
+  BigNat operator*(const BigNat& other) const;
+  /// Quotient and remainder; error (InvalidArgument) on division by zero.
+  struct DivModResult;
+  Result<DivModResult> DivMod(const BigNat& divisor) const;
+
+  BigNat& operator+=(const BigNat& other) { return *this = *this + other; }
+  BigNat& operator*=(const BigNat& other) { return *this = *this * other; }
+
+  bool operator==(const BigNat& o) const { return limbs_ == o.limbs_; }
+  bool operator!=(const BigNat& o) const { return limbs_ != o.limbs_; }
+  bool operator<(const BigNat& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigNat& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigNat& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigNat& o) const { return Compare(o) >= 0; }
+
+  /// max / min, mirroring the maximal-union / intersection multiplicity
+  /// arithmetic of the algebra.
+  static const BigNat& Max(const BigNat& a, const BigNat& b) {
+    return a >= b ? a : b;
+  }
+  static const BigNat& Min(const BigNat& a, const BigNat& b) {
+    return a <= b ? a : b;
+  }
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const;
+
+  /// The number of 32-bit limbs (0 for zero); exposed for size accounting.
+  size_t LimbCount() const { return limbs_.size(); }
+
+ private:
+  void Normalize();
+  /// Divides in place by a small divisor, returning the remainder.
+  uint32_t DivSmallInPlace(uint32_t divisor);
+  /// Multiplies in place by small value and adds small addend.
+  void MulAddSmallInPlace(uint32_t mul, uint32_t add);
+  /// Shift left by `bits` (< 32) used by long division.
+  BigNat ShiftLeftBits(unsigned bits) const;
+  BigNat ShiftRightBits(unsigned bits) const;
+
+  // Little-endian 32-bit limbs; empty means zero; top limb nonzero.
+  std::vector<uint32_t> limbs_;
+};
+
+/// Quotient/remainder pair returned by BigNat::DivMod.
+struct BigNat::DivModResult {
+  BigNat quotient;
+  BigNat remainder;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigNat& n);
+
+}  // namespace bagalg
+
+#endif  // BAGALG_UTIL_BIGNAT_H_

@@ -1,0 +1,72 @@
+#ifndef BAGALG_UTIL_RESULT_H_
+#define BAGALG_UTIL_RESULT_H_
+
+/// \file result.h
+/// Result<T>: a value-or-Status sum type, the return convention of every
+/// fallible value-producing bagalg API.
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace bagalg {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an error
+/// Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The carried status (OK on success).
+  const Status& status() const { return status_; }
+
+  /// The value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status from the current function.
+#define BAGALG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define BAGALG_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define BAGALG_ASSIGN_OR_RETURN_NAME(a, b) BAGALG_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define BAGALG_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  BAGALG_ASSIGN_OR_RETURN_IMPL(                                               \
+      BAGALG_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace bagalg
+
+#endif  // BAGALG_UTIL_RESULT_H_

@@ -1,0 +1,107 @@
+#ifndef BAGALG_UTIL_STATUS_H_
+#define BAGALG_UTIL_STATUS_H_
+
+/// \file status.h
+/// Error-handling primitives used across all bagalg public APIs.
+///
+/// bagalg does not throw exceptions across library boundaries. Fallible
+/// operations return a Status (or a Result<T>, see result.h) in the style of
+/// production database engines (RocksDB, Arrow): the caller inspects the
+/// code and message, and composes propagation with the BAGALG_RETURN_IF_ERROR
+/// macro.
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace bagalg {
+
+/// Canonical error codes. The set is intentionally small; the message carries
+/// the detail.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input to an API (e.g. a monus on bags of different types).
+  kInvalidArgument,
+  /// A well-formed expression failed static type checking.
+  kTypeError,
+  /// Evaluation exceeded a Limits budget (powerset width, bag size, steps).
+  kResourceExhausted,
+  /// A name (input bag, variable, atom) was not found.
+  kNotFound,
+  /// Text could not be parsed as a value, type, or expression.
+  kParseError,
+  /// An operation is not supported in the requested fragment (e.g. P in
+  /// BALG1) or not implemented for the given configuration.
+  kUnsupported,
+  /// An internal invariant was violated; indicates a bug in bagalg itself.
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "TypeError").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy on the success path (no
+/// allocation); error path carries a message string.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers mirroring the StatusCode enumerators.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error (or kOk) code.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates an error Status from the current function.
+#define BAGALG_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::bagalg::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+}  // namespace bagalg
+
+#endif  // BAGALG_UTIL_STATUS_H_

@@ -1,0 +1,19 @@
+#include "src/util/strings.h"
+
+namespace bagalg {
+
+std::vector<std::string> SplitString(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace bagalg

@@ -1,0 +1,268 @@
+// Tests for the analysis substrate: BigInt, integer polynomials, and the
+// Proposition 4.1 abstract count interpreter — validated against the
+// concrete evaluator on an expression zoo (the paper's central §4 lemma,
+// mechanized), plus the Prop 4.5 bag-even argument via finite differences.
+
+#include "src/analysis/count_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/algebra/builder.h"
+#include "src/algebra/derived.h"
+#include "src/algebra/eval.h"
+#include "src/analysis/polynomial.h"
+#include "src/core/iso.h"
+#include "src/util/bigint.h"
+
+namespace bagalg {
+namespace {
+
+using analysis::AnalyzeCounts;
+using analysis::CountAnalysis;
+using analysis::IsPolynomialSequence;
+using analysis::Polynomial;
+
+Value A(const char* name) { return MakeAtom(name); }
+
+// ---------------------------------------------------------------- BigInt
+
+TEST(BigIntTest, ConstructionAndSigns) {
+  EXPECT_TRUE(BigInt().IsZero());
+  EXPECT_TRUE(BigInt(5).IsPositive());
+  EXPECT_TRUE(BigInt(-5).IsNegative());
+  EXPECT_EQ(BigInt(-5).ToString(), "-5");
+  EXPECT_TRUE(BigInt(true, BigNat(0)).IsZero());  // no negative zero
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, Arithmetic) {
+  EXPECT_EQ(BigInt(3) + BigInt(-5), BigInt(-2));
+  EXPECT_EQ(BigInt(-3) + BigInt(-5), BigInt(-8));
+  EXPECT_EQ(BigInt(3) - BigInt(-5), BigInt(8));
+  EXPECT_EQ(BigInt(-3) * BigInt(-5), BigInt(15));
+  EXPECT_EQ(BigInt(-3) * BigInt(5), BigInt(-15));
+  EXPECT_EQ(-BigInt(7), BigInt(-7));
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-10), BigInt(-2));
+  EXPECT_LT(BigInt(-2), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(3));
+  EXPECT_EQ(BigInt(4).Compare(BigInt(4)), 0);
+}
+
+TEST(BigIntTest, ToBigNatRejectsNegatives) {
+  EXPECT_TRUE(BigInt(4).ToBigNat().ok());
+  EXPECT_FALSE(BigInt(-4).ToBigNat().ok());
+}
+
+// ------------------------------------------------------------- Polynomial
+
+TEST(PolynomialTest, ConstructionNormalization) {
+  Polynomial p({BigInt(1), BigInt(0), BigInt(0)});
+  EXPECT_EQ(p.Degree(), 0u);
+  EXPECT_TRUE(Polynomial({BigInt(0)}).IsZero());
+  EXPECT_EQ(Polynomial::Identity().Degree(), 1u);
+}
+
+TEST(PolynomialTest, ArithmeticAndEval) {
+  // (n + 1)(n - 1) = n^2 - 1.
+  Polynomial np1({BigInt(1), BigInt(1)});
+  Polynomial nm1({BigInt(-1), BigInt(1)});
+  Polynomial prod = np1 * nm1;
+  EXPECT_EQ(prod, Polynomial({BigInt(-1), BigInt(0), BigInt(1)}));
+  EXPECT_EQ(prod.Eval(BigNat(5)), BigInt(24));
+  EXPECT_EQ((np1 + nm1).Eval(BigNat(10)), BigInt(20));
+  EXPECT_EQ((np1 - nm1), Polynomial::Constant(BigInt(2)));
+}
+
+TEST(PolynomialTest, ToStringReadable) {
+  Polynomial p({BigInt(-3), BigInt(1), BigInt(2)});
+  EXPECT_EQ(p.ToString(), "2n^2 + n - 3");
+  EXPECT_EQ(Polynomial().ToString(), "0");
+  EXPECT_EQ(Polynomial::Identity().ToString(), "n");
+}
+
+TEST(PolynomialTest, StablePositivityPoint) {
+  // n^2 - 4 is positive exactly from n = 3 on.
+  Polynomial p({BigInt(-4), BigInt(0), BigInt(1)});
+  EXPECT_EQ(p.StablePositivityPoint(), BigNat(3));
+  // -n + 10: positive until 9, non-positive from 10 on.
+  Polynomial q({BigInt(10), BigInt(-1)});
+  EXPECT_FALSE(q.EventuallyPositive());
+  EXPECT_EQ(q.StablePositivityPoint(), BigNat(10));
+  // Constants.
+  EXPECT_EQ(Polynomial::Constant(BigInt(7)).StablePositivityPoint(),
+            BigNat(0));
+}
+
+TEST(PolynomialTest, FiniteDifferencesDetectPolynomials) {
+  // Samples of n^2 at n = 0..6.
+  std::vector<BigInt> squares;
+  for (int64_t n = 0; n <= 6; ++n) squares.push_back(BigInt(n * n));
+  EXPECT_TRUE(IsPolynomialSequence(squares, 2));
+  EXPECT_FALSE(IsPolynomialSequence(squares, 1));
+  // 2^n is not polynomial of any small degree.
+  std::vector<BigInt> powers;
+  for (int64_t n = 0; n <= 10; ++n) powers.push_back(BigInt(int64_t{1} << n));
+  for (size_t d = 0; d <= 8; ++d) {
+    EXPECT_FALSE(IsPolynomialSequence(powers, d)) << d;
+  }
+}
+
+// ----------------------------------------------- Prop 4.1 count analysis
+
+/// Checks the analysis against concrete evaluation on B_n for a window of n.
+void VerifyAnalysis(const Expr& e, uint64_t max_n) {
+  Value a = A("a");
+  auto analysis = AnalyzeCounts(e, "B", a);
+  ASSERT_TRUE(analysis.ok()) << analysis.status() << " for " << e.ToString();
+  uint64_t start = analysis->UniformValidFrom().ToUint64().value();
+  Evaluator eval;
+  for (uint64_t n = start; n <= start + max_n; ++n) {
+    Database db;
+    ASSERT_TRUE(db.Put("B", NCopies(Mult(n), Value::Tuple({a}))).ok());
+    auto out = eval.EvalToBag(e, db);
+    ASSERT_TRUE(out.ok()) << e.ToString();
+    // Every concrete entry must match its polynomial...
+    for (const BagEntry& entry : out->entries()) {
+      BigInt predicted = analysis->CountOf(entry.value).poly.Eval(BigNat(n));
+      EXPECT_EQ(predicted, BigInt(entry.count))
+          << "tuple " << entry.value.ToString() << " at n=" << n << " in "
+          << e.ToString();
+    }
+    // ...and every tracked tuple must match the concrete count.
+    for (const auto& [t, cf] : analysis->counts) {
+      EXPECT_EQ(BigInt(out->CountOf(t)), cf.poly.Eval(BigNat(n)))
+          << "tuple " << t.ToString() << " at n=" << n << " in "
+          << e.ToString();
+    }
+  }
+}
+
+TEST(CountAnalysisTest, InputIsIdentityPolynomial) {
+  Value a = A("a");
+  auto r = AnalyzeCounts(Input("B"), "B", a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->CountOf(Value::Tuple({a})).poly, Polynomial::Identity());
+}
+
+TEST(CountAnalysisTest, ZooAgreesWithConcreteEvaluation) {
+  Value a = A("a");
+  Expr B = Input("B");
+  Bag c1 = MakeBag({{Value::Tuple({A("c")}), 2}});
+  std::vector<Expr> zoo = {
+      B,
+      Uplus(B, B),
+      Product(B, B),
+      Product(Uplus(B, ConstBag(c1)), B),
+      Monus(Product(B, B), Product(B, ConstBag(c1))),  // n^2 - 2n (event. +)
+      Monus(B, Map(Tup({Proj(Var(0), 1)}), Product(B, B))),  // eventually 0
+      Map(Tup({Proj(Var(0), 1), Proj(Var(0), 1)}), B),
+      Select(Proj(Var(0), 1), ConstExpr(A("a")), B),
+      Select(Proj(Var(0), 1), ConstExpr(A("zzz")), B),
+      Umax(Product(B, B), Product(B, Uplus(B, B))),  // max(n^2, 2n^2)
+      Inter(Map(Tup({Proj(Var(0), 1)}), Product(B, B)),
+            Uplus(B, B)),                         // min(n^2, 2n) = 2n, n>=2
+      Eps(Uplus(B, ConstBag(c1))),
+      Map(Tup({ConstExpr(A("k"))}), Product(B, B)),  // all collapse: n^2
+      Monus(Uplus(B, B), Uplus(B, ConstBag(c1))),    // 2n - (n... mixed keys
+  };
+  for (const Expr& e : zoo) {
+    VerifyAnalysis(e, 4);
+  }
+}
+
+TEST(CountAnalysisTest, FreshConstantHasZeroConstantTerm) {
+  // The claim: if tuple t contains the fresh constant a, then k0 = 0.
+  Value a = A("a");
+  Expr B = Input("B");
+  std::vector<Expr> zoo = {
+      B,
+      Product(B, B),
+      Uplus(B, Map(Tup({Proj(Var(0), 1), ConstExpr(A("c"))}), B)),
+  };
+  for (const Expr& e : zoo) {
+    auto r = AnalyzeCounts(e, "B", a);
+    ASSERT_TRUE(r.ok());
+    for (const auto& [t, cf] : r->counts) {
+      std::unordered_set<AtomId> atoms;
+      CollectAtoms(t, &atoms);
+      if (atoms.count(a.atom_id()) != 0) {
+        EXPECT_TRUE(cf.poly.ConstantTerm().IsZero())
+            << t.ToString() << " in " << e.ToString();
+      }
+    }
+  }
+}
+
+TEST(CountAnalysisTest, RejectsOperatorsOutsideFragment) {
+  Value a = A("a");
+  EXPECT_FALSE(AnalyzeCounts(Pow(Input("B")), "B", a).ok());
+  EXPECT_FALSE(AnalyzeCounts(Destroy(Input("B")), "B", a).ok());
+  EXPECT_FALSE(AnalyzeCounts(Input("C"), "B", a).ok());
+  EXPECT_FALSE(
+      AnalyzeCounts(TransitiveClosure(Input("B")), "B", a).ok());
+}
+
+TEST(CountAnalysisTest, DupElimRuleMatchesProp45Induction) {
+  // ε(B ⊎ B) over B_n: the single tuple [a] has polynomial 1.
+  Value a = A("a");
+  Expr e = Eps(Uplus(Input("B"), Input("B")));
+  auto r = AnalyzeCounts(e, "B", a);
+  ASSERT_TRUE(r.ok());
+  auto cf = r->CountOf(Value::Tuple({a}));
+  EXPECT_EQ(cf.poly, Polynomial::Constant(BigInt(1)));
+  VerifyAnalysis(e, 4);
+}
+
+TEST(CountAnalysisTest, BagEvenCountFunctionIsNotPolynomial) {
+  // Prop 4.5: bag-even(B_n) = B_n if n even, ∅ otherwise. Its count
+  // function f(n) = n·[n even] admits no polynomial of any degree d (its
+  // (d+1)-th finite differences never vanish), while every BALG¹
+  // expression's count function does — hence bag-even ∉ BALG¹.
+  std::vector<BigInt> bag_even;
+  for (int64_t n = 0; n <= 30; ++n) {
+    bag_even.push_back(BigInt(n % 2 == 0 ? n : 0));
+  }
+  for (size_t d = 0; d <= 12; ++d) {
+    EXPECT_FALSE(IsPolynomialSequence(bag_even, d)) << "degree " << d;
+  }
+  // Control: every analysis-produced polynomial *does* pass the test.
+  Value a = A("a");
+  Expr e = Monus(Product(Input("B"), Input("B")), Input("B"));
+  auto r = AnalyzeCounts(e, "B", a);
+  ASSERT_TRUE(r.ok());
+  for (const auto& [t, cf] : r->counts) {
+    (void)t;
+    std::vector<BigInt> samples;
+    uint64_t start = cf.valid_from.ToUint64().value();
+    for (uint64_t n = start; n < start + cf.poly.Degree() + 4; ++n) {
+      samples.push_back(cf.poly.Eval(BigNat(n)));
+    }
+    EXPECT_TRUE(IsPolynomialSequence(samples, cf.poly.Degree()));
+  }
+}
+
+TEST(CountAnalysisTest, Prop41MonusNeedsCareAtSmallN) {
+  // (B ⊎ B) − π1(B×B): counts max(0, 2n − n²) for the tuple [a] — positive
+  // at n = 1, zero from n = 2 on. The monus rule must eliminate the tuple
+  // *and* raise the zero floor to at least 2 so the small-n disagreement is
+  // outside the claimed validity window.
+  Value a = A("a");
+  Expr two_b = Uplus(Input("B"), Input("B"));
+  Expr n_squared_flat =
+      Map(Tup({Proj(Var(0), 1)}), Product(Input("B"), Input("B")));
+  Expr e = Monus(two_b, n_squared_flat);
+  auto r = AnalyzeCounts(e, "B", a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->CountOf(Value::Tuple({a})).poly.IsZero());
+  EXPECT_GE(r->UniformValidFrom(), BigNat(2));
+  VerifyAnalysis(e, 5);
+}
+
+}  // namespace
+}  // namespace bagalg

@@ -1,0 +1,211 @@
+// Unit and property tests for BigNat, the arbitrary-precision multiplicity
+// type. Cross-checks all arithmetic against 64-bit reference computations on
+// random operands, plus exact large-number identities.
+
+#include "src/util/bignat.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace bagalg {
+namespace {
+
+TEST(BigNatTest, DefaultIsZero) {
+  BigNat n;
+  EXPECT_TRUE(n.IsZero());
+  EXPECT_EQ(n.ToString(), "0");
+  EXPECT_EQ(n.BitLength(), 0u);
+  EXPECT_EQ(n.ToUint64().value(), 0u);
+}
+
+TEST(BigNatTest, SmallConstruction) {
+  BigNat n(42);
+  EXPECT_FALSE(n.IsZero());
+  EXPECT_EQ(n.ToString(), "42");
+  EXPECT_EQ(n.ToUint64().value(), 42u);
+  EXPECT_EQ(n.BitLength(), 6u);
+}
+
+TEST(BigNatTest, Uint64BoundaryConstruction) {
+  BigNat n(~uint64_t{0});
+  EXPECT_EQ(n.ToString(), "18446744073709551615");
+  EXPECT_EQ(n.ToUint64().value(), ~uint64_t{0});
+  EXPECT_EQ(n.BitLength(), 64u);
+}
+
+TEST(BigNatTest, AdditionCarriesAcrossLimbs) {
+  BigNat a(~uint64_t{0});
+  BigNat sum = a + BigNat(1);
+  EXPECT_EQ(sum.ToString(), "18446744073709551616");
+  EXPECT_FALSE(sum.FitsUint64());
+  EXPECT_FALSE(sum.ToUint64().ok());
+}
+
+TEST(BigNatTest, MultiplicationLarge) {
+  // (2^64)^2 = 2^128.
+  BigNat a = BigNat(~uint64_t{0}) + BigNat(1);
+  BigNat sq = a * a;
+  EXPECT_EQ(sq, BigNat::TwoPow(128));
+  EXPECT_EQ(sq.ToString(), "340282366920938463463374607431768211456");
+}
+
+TEST(BigNatTest, TwoPowMatchesRepeatedDoubling) {
+  BigNat doubling(1);
+  for (uint64_t i = 0; i <= 200; ++i) {
+    EXPECT_EQ(BigNat::TwoPow(i), doubling) << "at exponent " << i;
+    doubling = doubling + doubling;
+  }
+}
+
+TEST(BigNatTest, PowMatchesRepeatedMultiplication) {
+  BigNat base(7);
+  BigNat acc(1);
+  for (uint64_t e = 0; e < 40; ++e) {
+    EXPECT_EQ(BigNat::Pow(base, e), acc) << "at exponent " << e;
+    acc = acc * base;
+  }
+}
+
+TEST(BigNatTest, MonusSaturatesAtZero) {
+  EXPECT_EQ(BigNat(5).MonusSub(BigNat(7)), BigNat(0));
+  EXPECT_EQ(BigNat(7).MonusSub(BigNat(5)), BigNat(2));
+  EXPECT_EQ(BigNat(7).MonusSub(BigNat(7)), BigNat(0));
+}
+
+TEST(BigNatTest, CheckedSubUnderflowIsError) {
+  auto r = BigNat(3).CheckedSub(BigNat(4));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BigNatTest, CheckedSubBorrowsAcrossLimbs) {
+  BigNat big = BigNat::TwoPow(100);
+  auto r = big.CheckedSub(BigNat(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r + BigNat(1), big);
+  EXPECT_EQ(r->BitLength(), 100u);
+}
+
+TEST(BigNatTest, DivModByZeroIsError) {
+  auto r = BigNat(10).DivMod(BigNat(0));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BigNatTest, DivModSmallDivisor) {
+  auto r = BigNat(1000001).DivMod(BigNat(10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->quotient, BigNat(100000));
+  EXPECT_EQ(r->remainder, BigNat(1));
+}
+
+TEST(BigNatTest, DivModLargeDivisor) {
+  BigNat a = BigNat::Pow(BigNat(10), 50) + BigNat(123);
+  BigNat d = BigNat::Pow(BigNat(10), 20);
+  auto r = a.DivMod(d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->quotient, BigNat::Pow(BigNat(10), 30));
+  EXPECT_EQ(r->remainder, BigNat(123));
+}
+
+TEST(BigNatTest, FromDecimalRoundTrip) {
+  const char* cases[] = {"0", "1", "999999999", "1000000000",
+                         "340282366920938463463374607431768211456",
+                         "00042"};
+  const char* expected[] = {"0", "1", "999999999", "1000000000",
+                            "340282366920938463463374607431768211456", "42"};
+  for (size_t i = 0; i < 6; ++i) {
+    auto r = BigNat::FromDecimal(cases[i]);
+    ASSERT_TRUE(r.ok()) << cases[i];
+    EXPECT_EQ(r->ToString(), expected[i]);
+  }
+}
+
+TEST(BigNatTest, FromDecimalRejectsGarbage) {
+  EXPECT_FALSE(BigNat::FromDecimal("").ok());
+  EXPECT_FALSE(BigNat::FromDecimal("12x3").ok());
+  EXPECT_FALSE(BigNat::FromDecimal("-5").ok());
+}
+
+TEST(BigNatTest, CompareTotalOrder) {
+  BigNat a(3), b(5), c = BigNat::TwoPow(70);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(BigNat::Max(a, b), b);
+  EXPECT_EQ(BigNat::Min(a, c), a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(c >= b);
+}
+
+TEST(BigNatTest, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigNat(12345).ToDouble(), 12345.0);
+  double big = BigNat::TwoPow(80).ToDouble();
+  EXPECT_NEAR(big / 1.2089258196146292e24, 1.0, 1e-12);
+}
+
+TEST(BigNatTest, DecimalDigitsCount) {
+  EXPECT_EQ(BigNat(0).DecimalDigits(), 1u);
+  EXPECT_EQ(BigNat(9).DecimalDigits(), 1u);
+  EXPECT_EQ(BigNat(10).DecimalDigits(), 2u);
+  EXPECT_EQ(BigNat::Pow(BigNat(10), 30).DecimalDigits(), 31u);
+}
+
+TEST(BigNatTest, HashEqualForEqualValues) {
+  BigNat a = BigNat::Pow(BigNat(3), 100);
+  BigNat b = BigNat::Pow(BigNat(3), 100);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+// ---- randomized cross-checks against 64-bit arithmetic --------------------
+
+class BigNatPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigNatPropertyTest, ArithmeticAgreesWithUint64) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    uint64_t x = rng.Below(1u << 31);
+    uint64_t y = rng.Below(1u << 31);
+    BigNat bx(x), by(y);
+    EXPECT_EQ((bx + by).ToUint64().value(), x + y);
+    EXPECT_EQ((bx * by).ToUint64().value(), x * y);
+    EXPECT_EQ(bx.MonusSub(by).ToUint64().value(), x > y ? x - y : 0);
+    EXPECT_EQ(bx.Compare(by), x < y ? -1 : (x == y ? 0 : 1));
+    if (y != 0) {
+      auto dm = bx.DivMod(by);
+      ASSERT_TRUE(dm.ok());
+      EXPECT_EQ(dm->quotient.ToUint64().value(), x / y);
+      EXPECT_EQ(dm->remainder.ToUint64().value(), x % y);
+    }
+  }
+}
+
+TEST_P(BigNatPropertyTest, AlgebraicLawsOnLargeOperands) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 50; ++i) {
+    BigNat a = BigNat::Pow(BigNat(rng.Range(2, 9)), rng.Range(10, 60));
+    BigNat b = BigNat::Pow(BigNat(rng.Range(2, 9)), rng.Range(10, 60));
+    BigNat c(rng.Below(1u << 20));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) * c, a * c + b * c);
+    EXPECT_EQ((a + b).MonusSub(b), a);
+    auto dm = (a * b + c).DivMod(b);
+    ASSERT_TRUE(dm.ok());
+    if (c < b) {
+      EXPECT_EQ(dm->quotient, a);
+      EXPECT_EQ(dm->remainder, c);
+    }
+    // Decimal round-trip.
+    auto parsed = BigNat::FromDecimal((a * b).ToString());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, a * b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigNatPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace bagalg

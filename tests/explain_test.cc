@@ -1,0 +1,74 @@
+// Tests for the EXPLAIN facility and the extended REPL commands.
+
+#include "src/algebra/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/derived.h"
+#include "src/lang/script.h"
+
+namespace bagalg {
+namespace {
+
+Schema TestSchema() {
+  return Schema{{"G", Type::Bag(Type::Tuple({Type::Atom(), Type::Atom()}))}};
+}
+
+TEST(ExplainTest, RendersTypedOperatorTree) {
+  Schema s = TestSchema();
+  Expr q = ProjectAttrs(Select(Proj(Var(0), 1), Proj(Var(0), 2), Input("G")),
+                        {1});
+  auto plan = ExplainExpr(q, s);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Operator names, indentation, and types all present.
+  EXPECT_NE(plan->find("map : {{[U]}}"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("sel : {{[U, U]}}"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("input G : {{[U, U]}}"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("body:"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("lhs:"), std::string::npos) << *plan;
+}
+
+TEST(ExplainTest, LambdaBodiesGetBinderNames) {
+  Schema s = TestSchema();
+  auto plan = ExplainExpr(Map(Tup({Proj(Var(0), 2)}), Input("G")), s);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("var v0"), std::string::npos) << *plan;
+}
+
+TEST(ExplainTest, FixpointPlansShowStepAndBound) {
+  Schema s = TestSchema();
+  auto plan = ExplainExpr(TransitiveClosureBounded(Input("G")), s);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("bifp"), std::string::npos);
+  EXPECT_NE(plan->find("step:"), std::string::npos);
+  EXPECT_NE(plan->find("bound:"), std::string::npos);
+}
+
+TEST(ExplainTest, ErrorsOnIllTypedExpressions) {
+  Schema s = TestSchema();
+  EXPECT_FALSE(ExplainExpr(Destroy(Input("G")), s).ok());
+  EXPECT_FALSE(ExplainExpr(Input("Missing"), s).ok());
+}
+
+TEST(ScriptExplainTest, ExplainCommand) {
+  lang::ScriptRunner runner;
+  ASSERT_TRUE(runner.RunLine("schema G : {{[U, U]}}").ok());
+  auto r = runner.RunLine("explain sel(x -> proj(1, x) == proj(2, x), G)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(r->find("sel : {{[U, U]}}"), std::string::npos) << *r;
+}
+
+TEST(ScriptExplainTest, FragmentCommand) {
+  lang::ScriptRunner runner;
+  ASSERT_TRUE(runner.RunLine("schema G : {{[U, U]}}").ok());
+  auto ok = runner.RunLine("fragment 1 dedup(G)");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "within BALG^1");
+  auto too_deep = runner.RunLine("fragment 1 pow(G)");
+  ASSERT_TRUE(too_deep.ok());
+  EXPECT_NE(too_deep->find("Unsupported"), std::string::npos);
+  EXPECT_FALSE(runner.RunLine("fragment x pow(G)").ok());
+}
+
+}  // namespace
+}  // namespace bagalg

@@ -1,0 +1,192 @@
+// Fuzz property suites over randomly generated well-typed expressions:
+//  * type soundness: evaluation of a well-typed query never fails with a
+//    type/argument error (only, possibly, ResourceExhausted), and the
+//    result's dynamic type conforms to the static type;
+//  * rewriter soundness: optimization preserves semantics exactly;
+//  * genericity (paper §2): evaluation commutes with database isomorphisms;
+//  * syntax round-trip: ToString output parses back to the same tree.
+
+#include "src/stats/expr_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/algebra/eval.h"
+#include "src/algebra/rewrite.h"
+#include "src/algebra/typecheck.h"
+#include "src/core/iso.h"
+#include "src/lang/parser.h"
+#include "src/stats/sampler.h"
+#include "src/util/rng.h"
+
+namespace bagalg {
+namespace {
+
+Schema FuzzSchema() {
+  Type tup1 = Type::Tuple({Type::Atom()});
+  Type tup2 = Type::Tuple({Type::Atom(), Type::Atom()});
+  return Schema{{"R", Type::Bag(tup1)}, {"S", Type::Bag(tup2)}};
+}
+
+Database RandomDbForSchema(Rng& rng) {
+  FlatBagSpec spec1;
+  spec1.arity = 1;
+  spec1.num_atoms = 3;
+  spec1.num_elements = 3;
+  spec1.max_mult = 2;
+  FlatBagSpec spec2 = spec1;
+  spec2.arity = 2;
+  Database db;
+  Status st = db.Put("R", RandomFlatBag(rng, spec1));
+  EXPECT_TRUE(st.ok());
+  st = db.Put("S", RandomFlatBag(rng, spec2));
+  EXPECT_TRUE(st.ok());
+  st = db.Declare("R", Type::Bag(Type::Tuple({Type::Atom()})));
+  EXPECT_TRUE(st.ok());
+  st = db.Declare("S", Type::Bag(Type::Tuple({Type::Atom(), Type::Atom()})));
+  EXPECT_TRUE(st.ok());
+  return db;
+}
+
+Limits FuzzLimits() {
+  Limits limits;
+  limits.max_distinct = 1u << 14;
+  limits.max_powerset_results = 1u << 12;
+  limits.max_mult_bits = 1u << 12;
+  limits.max_eval_steps = 200000;
+  return limits;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, WellTypedQueriesDoNotGoWrong) {
+  Rng rng(GetParam());
+  Schema schema = FuzzSchema();
+  Evaluator eval(FuzzLimits());
+  ExprGenOptions options;
+  options.allow_nest = true;  // exercise the §7 extensions too
+  int evaluated = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto e = RandomExpr(rng, schema, options);
+    ASSERT_TRUE(e.ok()) << e.status();
+    auto static_type = TypeOf(*e, schema);
+    ASSERT_TRUE(static_type.ok()) << e->ToString();
+    Database db = RandomDbForSchema(rng);
+    auto r = eval.EvalToBag(*e, db);
+    if (!r.ok()) {
+      // The only acceptable failure mode for a statically well-typed
+      // query is a resource budget miss.
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+          << e->ToString() << "\n" << r.status();
+      continue;
+    }
+    ++evaluated;
+    EXPECT_TRUE(static_type->Accepts(r->type()))
+        << "static " << static_type->ToString() << " vs dynamic "
+        << r->type().ToString() << " for " << e->ToString();
+  }
+  EXPECT_GT(evaluated, 20);  // the budget shouldn't kill everything
+}
+
+TEST_P(FuzzTest, OptimizerPreservesSemantics) {
+  Rng rng(GetParam() ^ 0xaaaa);
+  Schema schema = FuzzSchema();
+  Evaluator eval(FuzzLimits());
+  ExprGenOptions options;
+  options.allow_nest = true;
+  for (int i = 0; i < 40; ++i) {
+    auto e = RandomExpr(rng, schema, options);
+    ASSERT_TRUE(e.ok());
+    auto optimized = Optimize(*e, schema);
+    ASSERT_TRUE(optimized.ok()) << e->ToString();
+    Database db = RandomDbForSchema(rng);
+    auto r1 = eval.EvalToBag(*e, db);
+    auto r2 = eval.EvalToBag(*optimized, db);
+    if (!r1.ok() || !r2.ok()) continue;  // budget miss on either side
+    EXPECT_EQ(*r1, *r2) << "original:  " << e->ToString()
+                        << "\noptimized: " << optimized->ToString();
+  }
+}
+
+TEST_P(FuzzTest, EvaluationIsGeneric) {
+  // Paper §2: queries are generic — h(Q(DB)) == Q(h(DB)) for any
+  // isomorphism h, as long as h fixes the constants mentioned by Q. We
+  // permute only atoms that do NOT appear in the expression's literals.
+  Rng rng(GetParam() ^ 0xbbbb);
+  Schema schema = FuzzSchema();
+  Evaluator eval(FuzzLimits());
+  for (int i = 0; i < 30; ++i) {
+    auto e = RandomExpr(rng, schema);
+    ASSERT_TRUE(e.ok());
+    Database db = RandomDbForSchema(rng);
+    // Atoms used in the database but not hard-coded in the expression.
+    std::unordered_set<AtomId> db_atoms;
+    for (const auto& [name, bag] : db.instances()) {
+      (void)name;
+      CollectAtoms(bag, &db_atoms);
+    }
+    std::unordered_set<AtomId> expr_atoms;
+    std::function<void(const Expr&)> collect = [&](const Expr& x) {
+      if (x->kind == ExprKind::kConst) CollectAtoms(*x->literal, &expr_atoms);
+      for (const Expr& c : x->children) collect(c);
+    };
+    collect(*e);
+    std::vector<AtomId> movable;
+    for (AtomId a : db_atoms) {
+      if (expr_atoms.count(a) == 0) movable.push_back(a);
+    }
+    Isomorphism h = Isomorphism::RandomPermutation(movable, rng);
+    Database permuted;
+    for (const auto& [name, bag] : db.instances()) {
+      auto renamed = h.Apply(bag);
+      ASSERT_TRUE(renamed.ok());
+      ASSERT_TRUE(permuted.Put(name, std::move(renamed).value()).ok());
+      ASSERT_TRUE(permuted.Declare(name, db.schema().at(name)).ok());
+    }
+    auto r1 = eval.EvalToBag(*e, db);
+    auto r2 = eval.EvalToBag(*e, permuted);
+    if (!r1.ok() || !r2.ok()) continue;
+    auto h_r1 = h.Apply(*r1);
+    ASSERT_TRUE(h_r1.ok());
+    EXPECT_EQ(*h_r1, *r2) << e->ToString();
+  }
+}
+
+TEST_P(FuzzTest, SurfaceSyntaxRoundTrips) {
+  Rng rng(GetParam() ^ 0xcccc);
+  Schema schema = FuzzSchema();
+  for (int i = 0; i < 40; ++i) {
+    auto e = RandomExpr(rng, schema);
+    ASSERT_TRUE(e.ok());
+    std::string text = e->ToString();
+    auto parsed = lang::ParseExpr(text);
+    ASSERT_TRUE(parsed.ok()) << text << "\n" << parsed.status();
+    EXPECT_TRUE(ExprEquals(*e, *parsed)) << text;
+  }
+}
+
+TEST_P(FuzzTest, PowerbagEnabledStillSound) {
+  Rng rng(GetParam() ^ 0xdddd);
+  Schema schema = FuzzSchema();
+  ExprGenOptions options;
+  options.allow_powerbag = true;
+  options.growth_rounds = 8;
+  Evaluator eval(FuzzLimits());
+  for (int i = 0; i < 30; ++i) {
+    auto e = RandomExpr(rng, schema, options);
+    ASSERT_TRUE(e.ok());
+    Database db = RandomDbForSchema(rng);
+    auto r = eval.EvalToBag(*e, db);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+          << e->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005));
+
+}  // namespace
+}  // namespace bagalg

@@ -1,0 +1,186 @@
+// Tests for the Lemma 5.4 / Theorem 5.2 machinery: the Fig 1 star graphs,
+// the In_n/Out_n balanced-split property (1), the Φ query's behaviour in
+// the algebra (BALG², nested input), and the [GV90] pebble game showing the
+// duplicator wins while Φ distinguishes the structures.
+
+#include "src/games/pebble_game.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/algebra/derived.h"
+#include "src/algebra/eval.h"
+#include "src/algebra/typecheck.h"
+#include "src/games/structures.h"
+
+namespace bagalg {
+namespace {
+
+using games::BalancedSplitHolds;
+using games::BuildFig1StarGraphs;
+using games::CompletionDomain;
+using games::EdgesAsBag;
+using games::InDegree;
+using games::OutDegree;
+using games::PebbleGame;
+using games::StarGraphs;
+using games::Structure;
+
+TEST(StarGraphTest, RejectsBadN) {
+  EXPECT_FALSE(BuildFig1StarGraphs(3).ok());
+  EXPECT_FALSE(BuildFig1StarGraphs(5).ok());
+  EXPECT_FALSE(BuildFig1StarGraphs(2).ok());
+  EXPECT_TRUE(BuildFig1StarGraphs(4).ok());
+}
+
+TEST(StarGraphTest, SizesMatchThePaper) {
+  for (int n = 4; n <= 10; n += 2) {
+    auto g = BuildFig1StarGraphs(n);
+    ASSERT_TRUE(g.ok());
+    // |In_n| = |Out_n| = 2^{n/2 - 1}; total non-central nodes 2^{n/2}.
+    size_t expected = size_t{1} << (n / 2 - 1);
+    EXPECT_EQ(g->in_nodes.size(), expected) << n;
+    EXPECT_EQ(g->out_nodes.size(), expected) << n;
+    // Every node is an n/2-subset; α is the full set.
+    for (const Value& v : g->in_nodes) {
+      EXPECT_EQ(v.bag().TotalCount(), Mult(n / 2));
+    }
+    EXPECT_EQ(g->alpha.bag().TotalCount(), Mult(n));
+    // Star shape: 2^{n/2} edges, all incident to α.
+    EXPECT_EQ(g->g.edges.size(), 2 * expected);
+    for (const auto& [u, v] : g->g.edges) {
+      EXPECT_TRUE(u == g->alpha || v == g->alpha);
+    }
+  }
+}
+
+TEST(StarGraphTest, BalancedSplitPropertyOne) {
+  // Property (1): each atom belongs to exactly half the sets of In_n and
+  // half the sets of Out_n.
+  for (int n = 4; n <= 12; n += 2) {
+    auto g = BuildFig1StarGraphs(n);
+    ASSERT_TRUE(g.ok());
+    EXPECT_TRUE(BalancedSplitHolds(g->in_nodes, n)) << "In_" << n;
+    EXPECT_TRUE(BalancedSplitHolds(g->out_nodes, n)) << "Out_" << n;
+    // And In_n ∩ Out_n = ∅ (they are different node classes).
+    for (const Value& v : g->in_nodes) {
+      EXPECT_EQ(std::count(g->out_nodes.begin(), g->out_nodes.end(), v), 0);
+    }
+  }
+}
+
+TEST(StarGraphTest, DegreesDifferExactlyAsConstructed) {
+  auto g = BuildFig1StarGraphs(6);
+  ASSERT_TRUE(g.ok());
+  size_t half = g->in_nodes.size();
+  EXPECT_EQ(InDegree(g->g, g->alpha), half);
+  EXPECT_EQ(OutDegree(g->g, g->alpha), half);
+  EXPECT_EQ(InDegree(g->g_prime, g->alpha), half + 1);
+  EXPECT_EQ(OutDegree(g->g_prime, g->alpha), half - 1);
+}
+
+TEST(StarGraphTest, PhiQueryDistinguishesTheGraphsInBalg2) {
+  // Φ — "in-degree(α) > out-degree(α)" — is a BALG² query on the nested
+  // input; it is false on G, true on G' (Theorem 5.2's separating query).
+  auto g = BuildFig1StarGraphs(6);
+  ASSERT_TRUE(g.ok());
+  Expr phi = InDegreeGreaterThanOut(Input("G"), g->alpha);
+
+  Database db_g;
+  ASSERT_TRUE(db_g.Put("G", EdgesAsBag(g->g)).ok());
+  Database db_gp;
+  ASSERT_TRUE(db_gp.Put("G", EdgesAsBag(g->g_prime)).ok());
+
+  // Fragment check: the query types live in BALG² (nested input).
+  ASSERT_TRUE(CheckFragment(phi, db_g.schema(), 2).ok());
+
+  Evaluator eval;
+  auto on_g = eval.EvalToBag(phi, db_g);
+  auto on_gp = eval.EvalToBag(phi, db_gp);
+  ASSERT_TRUE(on_g.ok());
+  ASSERT_TRUE(on_gp.ok());
+  EXPECT_TRUE(on_g->empty());
+  EXPECT_FALSE(on_gp->empty());
+}
+
+TEST(CompletionTest, DomainHoldsAtomsAndAllSets) {
+  Structure s;
+  s.atoms = {GlobalAtom("q1"), GlobalAtom("q2"), GlobalAtom("q3")};
+  auto domain = CompletionDomain(s);
+  EXPECT_EQ(domain.size(), 3u + 8u);
+  size_t set_count = 0;
+  for (const Value& v : domain) {
+    if (v.IsBag()) {
+      ++set_count;
+      EXPECT_TRUE(v.bag().IsSetLike());
+    }
+  }
+  EXPECT_EQ(set_count, 8u);
+}
+
+TEST(PebbleGameTest, ConsistencyChecksLogicalPredicates) {
+  Structure sa, sb;
+  sa.atoms = {GlobalAtom("p1"), GlobalAtom("p2")};
+  sb.atoms = sa.atoms;
+  PebbleGame game(sa, sb);
+  Value a1 = Value::Atom(sa.atoms[0]);
+  Value a2 = Value::Atom(sa.atoms[1]);
+  Value set1 = Value::FromBag(MakeBagOf({a1}));
+  Value set2 = Value::FromBag(MakeBagOf({a2}));
+  // Mapping (a1 -> a1, {a1} -> {a1}) is consistent.
+  EXPECT_TRUE(game.ConsistentMap({{a1, a1}, {set1, set1}}));
+  // Mapping (a1 -> a1, {a1} -> {a2}) breaks membership.
+  EXPECT_FALSE(game.ConsistentMap({{a1, a1}, {set1, set2}}));
+  // Kind mismatch.
+  EXPECT_FALSE(game.ConsistentMap({{a1, set1}}));
+  // Equality preservation: two distinct objects cannot merge.
+  EXPECT_FALSE(game.ConsistentMap({{a1, a1}, {a2, a1}}));
+}
+
+TEST(PebbleGameTest, IdenticalStructuresAlwaysDraw) {
+  Structure s;
+  s.atoms = {GlobalAtom("r1"), GlobalAtom("r2")};
+  Value a1 = Value::Atom(s.atoms[0]);
+  Value a2 = Value::Atom(s.atoms[1]);
+  s.edges = {{a1, a2}};
+  PebbleGame game(s, s);
+  EXPECT_TRUE(game.DuplicatorWins(1));
+  EXPECT_TRUE(game.DuplicatorWins(2));
+}
+
+TEST(PebbleGameTest, SpoilerWinsOnDistinguishableAtomStructures) {
+  // A has an edge, B has none: the spoiler exposes it in 2 moves (and the
+  // duplicator survives 0 moves trivially).
+  Structure sa, sb;
+  sa.atoms = {GlobalAtom("s1"), GlobalAtom("s2")};
+  sb.atoms = sa.atoms;
+  Value a1 = Value::Atom(sa.atoms[0]);
+  Value a2 = Value::Atom(sa.atoms[1]);
+  sa.edges = {{a1, a2}};
+  PebbleGame game(sa, sb);
+  EXPECT_TRUE(game.DuplicatorWins(0));
+  EXPECT_FALSE(game.DuplicatorWins(2));
+}
+
+TEST(PebbleGameTest, DuplicatorWinsOneMoveOnFig1) {
+  // Lemma 5.4 with k = 1, n = 4 (n > 2^k): Φ distinguishes G and G' but
+  // the duplicator survives one move.
+  auto g = BuildFig1StarGraphs(4);
+  ASSERT_TRUE(g.ok());
+  PebbleGame game(g->g, g->g_prime);
+  EXPECT_TRUE(game.DuplicatorWins(1));
+  EXPECT_GT(game.stats().states_explored, 0u);
+}
+
+TEST(PebbleGameTest, SpoilerEventuallyWinsOnSmallN) {
+  // With n = 4 and enough moves the spoiler can pin down the inverted
+  // edge (the lemma only protects n > 2^k · l).
+  auto g = BuildFig1StarGraphs(4);
+  ASSERT_TRUE(g.ok());
+  PebbleGame game(g->g, g->g_prime);
+  EXPECT_FALSE(game.DuplicatorWins(3));
+}
+
+}  // namespace
+}  // namespace bagalg

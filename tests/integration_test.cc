@@ -1,0 +1,136 @@
+// End-to-end integration: the shipped example script runs through the
+// ScriptRunner (parser → typecheck → optimize → evaluate pipeline), plus
+// multi-line script handling and Database/AtomTable edge cases that the
+// pipeline depends on.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/algebra/database.h"
+#include "src/core/atom.h"
+#include "src/lang/script.h"
+
+namespace bagalg {
+namespace {
+
+using lang::ScriptRunner;
+
+TEST(IntegrationTest, TourScriptRunsEndToEnd) {
+  // Locate the script relative to the source tree (tests run from the
+  // build tree; fall back to the repo-root path).
+  std::string content;
+  for (const char* path : {"examples/scripts/tour.bag",
+                           "../examples/scripts/tour.bag",
+                           "../../examples/scripts/tour.bag"}) {
+    std::ifstream file(path);
+    if (file) {
+      std::ostringstream text;
+      text << file.rdbuf();
+      content = text.str();
+      break;
+    }
+  }
+  if (content.empty()) {
+    GTEST_SKIP() << "tour.bag not found from the test working directory";
+  }
+  ScriptRunner runner;
+  auto out = runner.RunScript(content);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Spot-check the §4 worked numbers surface in the output.
+  EXPECT_NE(out->find("49"), std::string::npos);          // |B×B| = (4+3)^2
+  EXPECT_NE(out->find("[a, a]*12"), std::string::npos);   // nm = 12
+  EXPECT_NE(out->find("{{[c]}}"), std::string::npos);     // Example 4.1
+  EXPECT_NE(out->find("within BALG^1"), std::string::npos);
+  EXPECT_NE(out->find("[n1, n4]"), std::string::npos);    // TC reached 4
+}
+
+TEST(IntegrationTest, MultiLineCommandsJoinOnBrackets) {
+  ScriptRunner runner;
+  auto out = runner.RunScript(
+      "let B = {{[a, b]*2,\n"
+      "          [b, a]}}\n"
+      "count prod(B,\n"
+      "           B)   # comment with ) inside is ignored\n");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_NE(out->find("9"), std::string::npos);
+}
+
+TEST(IntegrationTest, UnbalancedScriptReportsStartLine) {
+  ScriptRunner runner;
+  auto out = runner.RunScript("let B = {{a}}\ncount prod(B,\n");
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("line 2"), std::string::npos);
+}
+
+// --------------------------------------------------- database edge cases
+
+TEST(DatabaseTest, DeclareThenPutEnforcesSchema) {
+  Database db;
+  ASSERT_TRUE(
+      db.Declare("R", Type::Bag(Type::Tuple({Type::Atom()}))).ok());
+  // Conforming bag: OK.
+  EXPECT_TRUE(db.Put("R", MakeBagOf({MakeTuple({MakeAtom("x")})})).ok());
+  // Non-conforming bag: rejected.
+  auto st = db.Put("R", MakeBagOf({MakeAtom("x")}));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, DeclareRequiresBagType) {
+  Database db;
+  EXPECT_FALSE(db.Declare("R", Type::Atom()).ok());
+  EXPECT_FALSE(db.Declare("R", Type::Tuple({Type::Atom()})).ok());
+}
+
+TEST(DatabaseTest, DeclareProvidesTypedEmptyInstance) {
+  Database db;
+  ASSERT_TRUE(db.Declare("R", Type::Bag(Type::Atom())).ok());
+  auto bag = db.Get("R");
+  ASSERT_TRUE(bag.ok());
+  EXPECT_TRUE(bag->empty());
+  EXPECT_EQ(bag->element_type(), Type::Atom());
+  EXPECT_EQ(db.TypeOfInput("R").value(), Type::Bag(Type::Atom()));
+  EXPECT_FALSE(db.Get("Missing").ok());
+  EXPECT_FALSE(db.TypeOfInput("Missing").ok());
+}
+
+TEST(DatabaseTest, PutInfersSchemaFromBag) {
+  Database db;
+  Bag b = MakeBag({{MakeTuple({MakeAtom("x"), MakeAtom("y")}), 2}});
+  ASSERT_TRUE(db.Put("S", b).ok());
+  EXPECT_EQ(db.TypeOfInput("S").value(), b.type());
+}
+
+// --------------------------------------------------- atom table edge cases
+
+TEST(AtomTableTest, InternIsIdempotentAndDense) {
+  AtomTable table;
+  AtomId a = table.Intern("alpha");
+  AtomId b = table.Intern("beta");
+  EXPECT_EQ(table.Intern("alpha"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.NameOf(a), "alpha");
+  EXPECT_EQ(table.Find("beta").value(), b);
+  EXPECT_FALSE(table.Find("gamma").has_value());
+}
+
+TEST(AtomTableTest, UnknownIdsPrintPlaceholders) {
+  AtomTable table;
+  EXPECT_EQ(table.NameOf(12345), "#12345");
+}
+
+TEST(AtomTableTest, SeparateTablesAreIndependent) {
+  AtomTable t1, t2;
+  AtomId a1 = t1.Intern("x");
+  AtomId b2 = t2.Intern("completely-different");
+  // Dense ids start at 0 in each table.
+  EXPECT_EQ(a1, b2);
+  EXPECT_EQ(t1.NameOf(a1), "x");
+  EXPECT_EQ(t2.NameOf(b2), "completely-different");
+}
+
+}  // namespace
+}  // namespace bagalg

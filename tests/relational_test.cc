@@ -1,0 +1,202 @@
+// Tests for the RALG baseline and the Proposition 4.2 equivalence: the
+// standalone set-relation engine, the set-semantics transform, and the
+// BALG¹∖{−} → RALG∖{−} translation — cross-validated on random databases.
+
+#include "src/relational/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/builder.h"
+#include "src/algebra/derived.h"
+#include "src/algebra/eval.h"
+#include "src/core/bag_ops.h"
+#include "src/relational/relation.h"
+#include "src/stats/sampler.h"
+#include "src/util/rng.h"
+
+namespace bagalg {
+namespace {
+
+using relational::Relation;
+using relational::ToSetSemantics;
+using relational::TranslateBalg1ToRalg;
+
+Value A(const char* name) { return MakeAtom(name); }
+
+// ------------------------------------------------------- standalone engine
+
+TEST(RelationTest, ConstructionAndBasicOps) {
+  auto r = Relation::FromTuples({MakeTuple({A("a"), A("b")}),
+                                 MakeTuple({A("b"), A("c")}),
+                                 MakeTuple({A("a"), A("b")})});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // duplicates collapse
+  auto s = Relation::FromTuples({MakeTuple({A("a"), A("b")})});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(r->Intersect(*s).size(), 1u);
+  EXPECT_EQ(r->Difference(*s).size(), 1u);
+  EXPECT_EQ(r->Union(*s), *r);
+  EXPECT_EQ(r->Product(*s).size(), 2u);
+}
+
+TEST(RelationTest, RejectsMixedArityAndNonTuples) {
+  EXPECT_FALSE(Relation::FromTuples({MakeTuple({A("a")}),
+                                     MakeTuple({A("a"), A("b")})})
+                   .ok());
+  EXPECT_FALSE(Relation::FromTuples({A("a")}).ok());
+}
+
+TEST(RelationTest, ProjectAndSelect) {
+  auto r = Relation::FromTuples({MakeTuple({A("a"), A("a")}),
+                                 MakeTuple({A("a"), A("b")}),
+                                 MakeTuple({A("b"), A("b")})});
+  ASSERT_TRUE(r.ok());
+  auto pi1 = r->Project({1});
+  ASSERT_TRUE(pi1.ok());
+  EXPECT_EQ(pi1->size(), 2u);
+  auto diag = r->SelectEqAttrs(1, 2);
+  ASSERT_TRUE(diag.ok());
+  EXPECT_EQ(diag->size(), 2u);
+  auto first_a = r->SelectEqConst(1, A("a"));
+  ASSERT_TRUE(first_a.ok());
+  EXPECT_EQ(first_a->size(), 2u);
+  EXPECT_FALSE(r->Project({5}).ok());
+  EXPECT_FALSE(r->SelectEqAttrs(0, 1).ok());
+}
+
+TEST(RelationTest, BagRoundTrip) {
+  Bag b = MakeBag({{MakeTuple({A("a")}), 3}, {MakeTuple({A("b")}), 1}});
+  auto r = Relation::FromBag(b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(r->ToBag(), DupElim(b).value());
+}
+
+// ------------------------------------------------- set-semantics transform
+
+TEST(SetSemanticsTest, DropsDuplicatesEverywhere) {
+  Bag b = MakeBag({{MakeTuple({A("a"), A("b")}), 4},
+                   {MakeTuple({A("b"), A("a")}), 3}});
+  Database db;
+  ASSERT_TRUE(db.Put("B", b).ok());
+  // Q(B) = π_{1,4}(σ_{2=3}(B×B)) — under bag semantics counts are nm = 12
+  // (§4 table); under set semantics everything is 1.
+  Expr q = ProjectAttrs(Select(Proj(Var(0), 2), Proj(Var(0), 3),
+                               Product(Input("B"), Input("B"))),
+                        {1, 4});
+  Evaluator eval;
+  auto bag_result = eval.EvalToBag(q, db);
+  ASSERT_TRUE(bag_result.ok());
+  EXPECT_EQ(bag_result->CountOf(MakeTuple({A("a"), A("a")})), Mult(12));
+  auto set_result = eval.EvalToBag(ToSetSemantics(q), db);
+  ASSERT_TRUE(set_result.ok());
+  EXPECT_TRUE(set_result->IsSetLike());
+  EXPECT_EQ(set_result->CountOf(MakeTuple({A("a"), A("a")})), Mult(1));
+}
+
+// -------------------------------------------- Proposition 4.2 translation
+
+TEST(TranslateTest, RejectsOperatorsOutsideFragment) {
+  EXPECT_FALSE(TranslateBalg1ToRalg(Monus(Input("A"), Input("B"))).ok());
+  EXPECT_FALSE(TranslateBalg1ToRalg(Pow(Input("B"))).ok());
+  EXPECT_FALSE(TranslateBalg1ToRalg(Destroy(Input("B"))).ok());
+  EXPECT_FALSE(TranslateBalg1ToRalg(TransitiveClosure(Input("B"))).ok());
+  EXPECT_TRUE(TranslateBalg1ToRalg(Uplus(Input("A"), Input("B"))).ok());
+}
+
+class Prop42Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Prop42Test, TranslationAgreesOnMembership) {
+  // For every BALG¹∖{−} expression Q: a ∈ Q(DB) iff a ∈ Q'(DB'), where Q'
+  // is the translation and DB' the deduplicated database. Since Q' output
+  // is set-like, this says ε(Q(DB)) == Q'(DB) on set inputs — and on bag
+  // inputs, ε(Q(DB')) == Q'(DB).
+  Rng rng(GetParam());
+  FlatBagSpec spec;
+  spec.arity = 2;
+  std::vector<Expr> zoo = {
+      Uplus(Input("A"), Input("B")),
+      Umax(Inter(Input("A"), Input("B")), Input("A")),
+      ProjectAttrs(Product(Input("A"), Input("B")), {1, 3}),
+      Select(Proj(Var(0), 1), Proj(Var(0), 2), Uplus(Input("A"), Input("B"))),
+      Map(Tup({Proj(Var(0), 2), Proj(Var(0), 1)}),
+          Inter(Input("A"), Uplus(Input("B"), Input("B")))),
+      Eps(Product(Input("A"), Eps(Input("B")))),
+      CardAsInt(Input("A"), A("u")),
+  };
+  Evaluator eval;
+  for (int i = 0; i < 10; ++i) {
+    // Set inputs (DB = DB').
+    Database db;
+    ASSERT_TRUE(db.Put("A", DupElim(RandomFlatBag(rng, spec)).value()).ok());
+    ASSERT_TRUE(db.Put("B", DupElim(RandomFlatBag(rng, spec)).value()).ok());
+    for (const Expr& q : zoo) {
+      auto translated = TranslateBalg1ToRalg(q);
+      ASSERT_TRUE(translated.ok()) << q.ToString();
+      auto direct = eval.EvalToBag(q, db);
+      auto ralg = eval.EvalToBag(*translated, db);
+      ASSERT_TRUE(direct.ok());
+      ASSERT_TRUE(ralg.ok());
+      EXPECT_TRUE(ralg->IsSetLike()) << translated->ToString();
+      EXPECT_EQ(DupElim(*direct).value(), *ralg) << q.ToString();
+    }
+  }
+}
+
+TEST_P(Prop42Test, TranslationDedupsBagInputsLikeDBPrime) {
+  Rng rng(GetParam() ^ 0xbeef);
+  FlatBagSpec spec;
+  spec.arity = 2;
+  Expr q = ProjectAttrs(Product(Input("A"), Input("A")), {1, 4});
+  auto translated = TranslateBalg1ToRalg(q);
+  ASSERT_TRUE(translated.ok());
+  Evaluator eval;
+  for (int i = 0; i < 10; ++i) {
+    Bag a = RandomFlatBag(rng, spec);  // duplicates allowed
+    Database db;
+    ASSERT_TRUE(db.Put("A", a).ok());
+    Database db_prime;
+    ASSERT_TRUE(db_prime.Put("A", DupElim(a).value()).ok());
+    // Q'(DB) (inputs are deduplicated by the translation itself) equals
+    // ε(Q(DB')).
+    auto ralg_on_bags = eval.EvalToBag(*translated, db);
+    auto direct_on_sets = eval.EvalToBag(q, db_prime);
+    ASSERT_TRUE(ralg_on_bags.ok());
+    ASSERT_TRUE(direct_on_sets.ok());
+    EXPECT_EQ(*ralg_on_bags, DupElim(*direct_on_sets).value());
+  }
+}
+
+TEST_P(Prop42Test, TranslationCrossValidatesAgainstStandaloneEngine) {
+  // π_{1,3}(σ_{2=3}(A×B)) three ways: bag engine + translation, and the
+  // independent std::set-based relational engine.
+  Rng rng(GetParam() ^ 0xf00d);
+  FlatBagSpec spec;
+  spec.arity = 2;
+  Expr q = ProjectAttrs(Select(Proj(Var(0), 2), Proj(Var(0), 3),
+                               Product(Input("A"), Input("B"))),
+                        {1, 4});
+  auto translated = TranslateBalg1ToRalg(q);
+  ASSERT_TRUE(translated.ok());
+  Evaluator eval;
+  for (int i = 0; i < 10; ++i) {
+    Bag a = DupElim(RandomFlatBag(rng, spec)).value();
+    Bag b = DupElim(RandomFlatBag(rng, spec)).value();
+    Database db;
+    ASSERT_TRUE(db.Put("A", a).ok());
+    ASSERT_TRUE(db.Put("B", b).ok());
+    auto via_translation = eval.EvalToBag(*translated, db);
+    ASSERT_TRUE(via_translation.ok());
+
+    auto ra = Relation::FromBag(a).value();
+    auto rb = Relation::FromBag(b).value();
+    auto reference =
+        ra.Product(rb).SelectEqAttrs(2, 3).value().Project({1, 4}).value();
+    EXPECT_EQ(*via_translation, reference.ToBag());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop42Test, ::testing::Values(31, 32, 33));
+
+}  // namespace
+}  // namespace bagalg

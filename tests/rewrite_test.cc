@@ -1,0 +1,208 @@
+// Tests for the algebraic rewriter (§3 optimization discussion): each rule
+// fires where expected, and — the load-bearing property — rewriting never
+// changes query semantics on random databases.
+
+#include "src/algebra/rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/builder.h"
+#include "src/algebra/derived.h"
+#include "src/algebra/eval.h"
+#include "src/stats/sampler.h"
+#include "src/util/rng.h"
+
+namespace bagalg {
+namespace {
+
+Value A(const char* name) { return MakeAtom(name); }
+
+Schema TestSchema() {
+  Type tup2 = Type::Tuple({Type::Atom(), Type::Atom()});
+  return Schema{{"B", Type::Bag(tup2)}, {"C", Type::Bag(tup2)}};
+}
+
+TEST(RewriteTest, ExprEqualsDistinguishesStructure) {
+  EXPECT_TRUE(ExprEquals(Input("B"), Input("B")));
+  EXPECT_FALSE(ExprEquals(Input("B"), Input("C")));
+  EXPECT_TRUE(ExprEquals(Uplus(Input("B"), Input("C")),
+                         Uplus(Input("B"), Input("C"))));
+  EXPECT_FALSE(ExprEquals(Uplus(Input("B"), Input("C")),
+                          Uplus(Input("C"), Input("B"))));
+  EXPECT_TRUE(ExprEquals(Proj(Var(0), 1), Proj(Var(0), 1)));
+  EXPECT_FALSE(ExprEquals(Proj(Var(0), 1), Proj(Var(0), 2)));
+}
+
+TEST(RewriteTest, UnionWithEmptyConstEliminated) {
+  Schema s = TestSchema();
+  Expr empty = ConstBag(Bag(Type::Tuple({Type::Atom(), Type::Atom()})));
+  std::map<std::string, size_t> applied;
+  auto r = Optimize(Uplus(Input("B"), empty), s, RewriteOptions{}, &applied);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ExprEquals(*r, Input("B")));
+  EXPECT_EQ(applied["union-empty"], 1u);
+}
+
+TEST(RewriteTest, IdempotentIntersectAndUmax) {
+  Schema s = TestSchema();
+  auto r1 = Optimize(Inter(Input("B"), Input("B")), s);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(ExprEquals(*r1, Input("B")));
+  auto r2 = Optimize(Umax(Input("B"), Input("B")), s);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(ExprEquals(*r2, Input("B")));
+  // But ⊎ is NOT idempotent on bags — must not be rewritten.
+  auto r3 = Optimize(Uplus(Input("B"), Input("B")), s);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(ExprEquals(*r3, Uplus(Input("B"), Input("B"))));
+}
+
+TEST(RewriteTest, DedupRules) {
+  Schema s = TestSchema();
+  auto r1 = Optimize(Eps(Eps(Input("B"))), s);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(ExprEquals(*r1, Eps(Input("B"))));
+  // ε after P is a no-op (P outputs are duplicate-free).
+  auto r2 = Optimize(Eps(Pow(Input("B"))), s);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(ExprEquals(*r2, Pow(Input("B"))));
+}
+
+TEST(RewriteTest, DestroyMapBetaIsIdentity) {
+  Schema s = TestSchema();
+  auto r = Optimize(Destroy(Map(Beta(Var(0)), Input("B"))), s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ExprEquals(*r, Input("B")));
+}
+
+TEST(RewriteTest, SelectTautologyEliminated) {
+  Schema s = TestSchema();
+  // σ_{α1=α1}(B) always holds (well-typed inputs): drop the selection.
+  std::map<std::string, size_t> applied;
+  auto r = Optimize(Select(Proj(Var(0), 1), Proj(Var(0), 1), Input("B")), s,
+                    RewriteOptions{}, &applied);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ExprEquals(*r, Input("B")));
+  EXPECT_EQ(applied["select-tautology"], 1u);
+  // Distinct attributes are kept.
+  auto kept = Optimize(Select(Proj(Var(0), 1), Proj(Var(0), 2), Input("B")), s);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ((*kept)->kind, ExprKind::kSelect);
+}
+
+TEST(RewriteTest, SelectionDistributesOverMerges) {
+  Schema s = TestSchema();
+  Expr sel = Select(Proj(Var(0), 1), Proj(Var(0), 2),
+                    Uplus(Input("B"), Input("C")));
+  std::map<std::string, size_t> applied;
+  auto r = Optimize(sel, s, RewriteOptions{}, &applied);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(applied["select-distribute"], 1u);
+  EXPECT_EQ((*r)->kind, ExprKind::kAdditiveUnion);
+  EXPECT_EQ((*r)->children[0]->kind, ExprKind::kSelect);
+}
+
+TEST(RewriteTest, SelectionPushesIntoProductLeft) {
+  Schema s = TestSchema();
+  // Predicate touches only attributes 1,2 = the left operand of B × C.
+  Expr sel = Select(Proj(Var(0), 1), Proj(Var(0), 2),
+                    Product(Input("B"), Input("C")));
+  std::map<std::string, size_t> applied;
+  auto r = Optimize(sel, s, RewriteOptions{}, &applied);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(applied["select-push-left"], 1u);
+  EXPECT_EQ((*r)->kind, ExprKind::kProduct);
+  EXPECT_EQ((*r)->children[0]->kind, ExprKind::kSelect);
+  EXPECT_TRUE(ExprEquals((*r)->children[1], Input("C")));
+}
+
+TEST(RewriteTest, SelectionPushesIntoProductRightWithReindexing) {
+  Schema s = TestSchema();
+  // Predicate touches attributes 3,4 = the right operand.
+  Expr sel = Select(Proj(Var(0), 3), Proj(Var(0), 4),
+                    Product(Input("B"), Input("C")));
+  std::map<std::string, size_t> applied;
+  auto r = Optimize(sel, s, RewriteOptions{}, &applied);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(applied["select-push-right"], 1u);
+  EXPECT_EQ((*r)->kind, ExprKind::kProduct);
+  const Expr& pushed = (*r)->children[1];
+  ASSERT_EQ(pushed->kind, ExprKind::kSelect);
+  // Attribute indices were shifted 3,4 -> 1,2.
+  EXPECT_EQ(pushed->children[0]->index, 1u);
+  EXPECT_EQ(pushed->children[1]->index, 2u);
+}
+
+TEST(RewriteTest, CrossOperandPredicateNotPushed) {
+  Schema s = TestSchema();
+  Expr sel = Select(Proj(Var(0), 1), Proj(Var(0), 3),
+                    Product(Input("B"), Input("C")));
+  auto r = Optimize(sel, s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind, ExprKind::kSelect);
+}
+
+TEST(RewriteTest, ConstantFoldingEvaluatesClosedSubtrees) {
+  Schema s = TestSchema();
+  Bag one = MakeBagOf({MakeTuple({A("k")})});
+  Expr closed = Uplus(ConstBag(one), ConstBag(one));
+  std::map<std::string, size_t> applied;
+  auto r = Optimize(Product(Input("B"), closed), s, RewriteOptions{},
+                    &applied);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(applied["constant-fold"], 1u);
+  EXPECT_EQ((*r)->children[1]->kind, ExprKind::kConst);
+  EXPECT_EQ((*r)->children[1]->literal->bag().TotalCount(), Mult(2));
+}
+
+class RewriteEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RewriteEquivalenceTest, OptimizationPreservesSemantics) {
+  Rng rng(GetParam());
+  FlatBagSpec spec;
+  Schema s = TestSchema();
+  Value unit = A("u");
+  // A zoo of expressions mixing every rule's trigger shape.
+  std::vector<Expr> zoo = {
+      Select(Proj(Var(0), 1), Proj(Var(0), 2),
+             Uplus(Input("B"), Input("C"))),
+      Select(Proj(Var(0), 1), Proj(Var(0), 2),
+             Product(Input("B"), Input("C"))),
+      Select(Proj(Var(0), 3), Proj(Var(0), 3),
+             Product(Input("B"), Input("C"))),
+      Eps(Eps(Monus(Input("B"), Input("C")))),
+      Destroy(Map(Beta(Var(0)), Inter(Input("B"), Input("B")))),
+      Umax(Uplus(Input("B"), ConstBag(Bag(Type::Tuple(
+                                 {Type::Atom(), Type::Atom()})))),
+           Input("C")),
+      CardGreater(ProjectAttrs(Input("B"), {1}),
+                  ProjectAttrs(Input("C"), {2})),
+      CountAgg(Select(Proj(Var(0), 1), Proj(Var(0), 2),
+                      Inter(Input("B"), Input("C"))),
+               unit),
+  };
+  for (int i = 0; i < 8; ++i) {
+    Database db;
+    ASSERT_TRUE(db.Put("B", RandomFlatBag(rng, spec)).ok());
+    ASSERT_TRUE(db.Put("C", RandomFlatBag(rng, spec)).ok());
+    ASSERT_TRUE(db.Declare("B", s["B"]).ok());
+    ASSERT_TRUE(db.Declare("C", s["C"]).ok());
+    for (const Expr& e : zoo) {
+      auto optimized = Optimize(e, s);
+      ASSERT_TRUE(optimized.ok()) << e.ToString();
+      Evaluator ev1, ev2;
+      auto r1 = ev1.EvalToBag(e, db);
+      auto r2 = ev2.EvalToBag(*optimized, db);
+      ASSERT_TRUE(r1.ok()) << e.ToString();
+      ASSERT_TRUE(r2.ok()) << optimized->ToString();
+      EXPECT_EQ(*r1, *r2) << "original: " << e.ToString()
+                          << "\noptimized: " << optimized->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteEquivalenceTest,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace bagalg

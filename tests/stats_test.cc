@@ -1,0 +1,131 @@
+// Tests for the samplers and the asymptotic-probability estimators
+// (Example 4.2 / the §4 0–1 law discussion).
+
+#include "src/stats/probability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/derived.h"
+#include "src/stats/sampler.h"
+#include "src/util/rng.h"
+
+namespace bagalg {
+namespace {
+
+TEST(SamplerTest, AtomPoolIsStable) {
+  auto a = AtomPool(4);
+  auto b = AtomPool(4);
+  ASSERT_EQ(a.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(SamplerTest, FlatBagRespectsSpec) {
+  Rng rng(5);
+  FlatBagSpec spec;
+  spec.arity = 3;
+  spec.num_elements = 10;
+  spec.max_mult = 4;
+  Bag bag = RandomFlatBag(rng, spec);
+  EXPECT_LE(bag.DistinctCount(), 10u);
+  EXPECT_FALSE(bag.empty());
+  for (const BagEntry& e : bag.entries()) {
+    EXPECT_TRUE(e.value.IsTuple());
+    EXPECT_EQ(e.value.fields().size(), 3u);
+  }
+  EXPECT_EQ(bag.element_type().fields().size(), 3u);
+}
+
+TEST(SamplerTest, SamplingIsDeterministicPerSeed) {
+  FlatBagSpec spec;
+  Rng r1(99), r2(99), r3(100);
+  EXPECT_EQ(RandomFlatBag(r1, spec), RandomFlatBag(r2, spec));
+  // Different seeds should (overwhelmingly) differ.
+  Rng r4(99);
+  (void)RandomFlatBag(r4, spec);
+  EXPECT_NE(RandomFlatBag(r3, spec), RandomFlatBag(r4, spec));
+}
+
+TEST(SamplerTest, NestedBagHasOneMoreLevel) {
+  Rng rng(6);
+  FlatBagSpec inner;
+  Bag nested = RandomNestedBag(rng, 4, inner);
+  EXPECT_EQ(nested.type().BagNesting(), 2);
+  for (const BagEntry& e : nested.entries()) {
+    EXPECT_TRUE(e.value.IsBag());
+  }
+}
+
+TEST(SamplerTest, GraphIsSetLikeBinary) {
+  Rng rng(7);
+  Bag g = RandomGraph(rng, 10, 0.4);
+  EXPECT_TRUE(g.IsSetLike());
+  for (const BagEntry& e : g.entries()) {
+    EXPECT_EQ(e.value.fields().size(), 2u);
+  }
+  // Edge count concentrates near p·n².
+  EXPECT_GT(g.TotalCount(), Mult(10));
+  EXPECT_LT(g.TotalCount(), Mult(80));
+}
+
+TEST(SamplerTest, TotalOrderLeqIsReflexiveTotalOrder) {
+  auto atoms = AtomPool(5, "ord");
+  Bag leq = TotalOrderLeq(atoms);
+  // n(n+1)/2 pairs.
+  EXPECT_EQ(leq.TotalCount(), Mult(15));
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    EXPECT_TRUE(leq.Contains(MakeTuple({atoms[i], atoms[i]})));
+    for (size_t j = i + 1; j < atoms.size(); ++j) {
+      EXPECT_TRUE(leq.Contains(MakeTuple({atoms[i], atoms[j]})));
+      EXPECT_FALSE(leq.Contains(MakeTuple({atoms[j], atoms[i]})));
+    }
+  }
+}
+
+TEST(ProbabilityTest, EstimatorCountsNonemptyFraction) {
+  // A deterministic query on a deterministic sampler: probability 1.
+  Rng rng(1);
+  auto always = EstimateNonemptyProbability(
+      ConstBag(MakeBagOf({MakeTuple({MakeAtom("w")})})),
+      [](Rng&) { return Database(); }, 25, rng);
+  ASSERT_TRUE(always.ok());
+  EXPECT_DOUBLE_EQ(always->probability, 1.0);
+  EXPECT_EQ(always->trials, 25u);
+  auto never = EstimateNonemptyProbability(
+      ConstBag(Bag(Type::Tuple({Type::Atom()}))),
+      [](Rng&) { return Database(); }, 25, rng);
+  ASSERT_TRUE(never.ok());
+  EXPECT_DOUBLE_EQ(never->probability, 0.0);
+}
+
+TEST(ProbabilityTest, CardGreaterApproachesOneHalf) {
+  Rng rng(2024);
+  auto small = ProbCardGreater(4, 600, rng);
+  auto large = ProbCardGreater(64, 600, rng);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  // By symmetry mu < 1/2 at every n (ties cost both sides); it must climb
+  // toward 1/2 as ties become rare.
+  EXPECT_LT(large->probability, 0.58);
+  EXPECT_GT(large->probability, 0.40);
+  EXPECT_GT(large->probability, small->probability - 0.05);
+}
+
+TEST(ProbabilityTest, CardEqualVanishes) {
+  Rng rng(2025);
+  auto small = ProbCardEqual(4, 600, rng);
+  auto large = ProbCardEqual(64, 600, rng);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(large->probability, small->probability);
+  EXPECT_LT(large->probability, 0.15);
+}
+
+TEST(ProbabilityTest, NonemptyObeysZeroOneLaw) {
+  Rng rng(2026);
+  auto large = ProbNonemptyMonadic(32, 400, rng);
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->probability, 0.999);
+}
+
+}  // namespace
+}  // namespace bagalg

@@ -1,0 +1,220 @@
+// Tests for the static type checker and the fragment analyses: output
+// types per operator, error paths, bag-nesting stratification (BALG^k) and
+// power nesting (BALG^k_i, §6).
+
+#include "src/algebra/typecheck.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/builder.h"
+#include "src/algebra/derived.h"
+
+namespace bagalg {
+namespace {
+
+Type U() { return Type::Atom(); }
+Type TupU(size_t k) { return Type::Tuple(std::vector<Type>(k, U())); }
+
+Schema FlatSchema() {
+  return Schema{{"B", Type::Bag(TupU(2))}, {"C", Type::Bag(TupU(1))}};
+}
+
+TEST(TypecheckTest, InputTypes) {
+  Schema s = FlatSchema();
+  auto t = TypeOf(Input("B"), s);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, Type::Bag(TupU(2)));
+  EXPECT_EQ(TypeOf(Input("Z"), s).status().code(), StatusCode::kNotFound);
+}
+
+TEST(TypecheckTest, MergeOpsJoinElementTypes) {
+  Schema s = FlatSchema();
+  auto t = TypeOf(Uplus(Input("B"), Input("B")), s);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, Type::Bag(TupU(2)));
+  // Arity mismatch is a type error.
+  EXPECT_EQ(TypeOf(Uplus(Input("B"), Input("C")), s).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TypecheckTest, ProductConcatenatesTupleTypes) {
+  Schema s = FlatSchema();
+  auto t = TypeOf(Product(Input("B"), Input("C")), s);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, Type::Bag(TupU(3)));
+}
+
+TEST(TypecheckTest, ProductRejectsNonTuples) {
+  Schema s{{"A", Type::Bag(U())}};
+  EXPECT_EQ(TypeOf(Product(Input("A"), Input("A")), s).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TypecheckTest, PowersetAndDestroy) {
+  Schema s = FlatSchema();
+  auto t = TypeOf(Pow(Input("B")), s);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, Type::Bag(Type::Bag(TupU(2))));
+  auto back = TypeOf(Destroy(Pow(Input("B"))), s);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, Type::Bag(TupU(2)));
+  // δ on a flat bag is a type error.
+  EXPECT_EQ(TypeOf(Destroy(Input("B")), s).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TypecheckTest, MapInfersBodyUnderBinder) {
+  Schema s = FlatSchema();
+  auto t = TypeOf(Map(Proj(Var(0), 1), Input("B")), s);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, Type::Bag(U()));
+  // Out-of-range projection.
+  EXPECT_EQ(TypeOf(Map(Proj(Var(0), 3), Input("B")), s).status().code(),
+            StatusCode::kTypeError);
+  // Unbound variable.
+  EXPECT_EQ(TypeOf(Map(Var(1), Input("B")), s).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(TypecheckTest, SelectRequiresComparableSides) {
+  Schema s = FlatSchema();
+  auto ok = TypeOf(Select(Proj(Var(0), 1), Proj(Var(0), 2), Input("B")), s);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, Type::Bag(TupU(2)));
+  // Comparing an atom with a bag of atoms is ill-typed.
+  EXPECT_EQ(
+      TypeOf(Select(Proj(Var(0), 1), Beta(Proj(Var(0), 2)), Input("B")), s)
+          .status()
+          .code(),
+      StatusCode::kTypeError);
+}
+
+TEST(TypecheckTest, NestAndUnnestTypes) {
+  Schema s = FlatSchema();
+  auto nested = TypeOf(NestExpr(Input("B"), {2}), s);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(*nested, Type::Bag(Type::Tuple({U(), Type::Bag(TupU(1))})));
+  auto back = TypeOf(UnnestExpr(NestExpr(Input("B"), {2}), 2), s);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, Type::Bag(Type::Tuple({U(), TupU(1)})));
+}
+
+TEST(TypecheckTest, FixpointTypes) {
+  Schema s = FlatSchema();
+  Expr tc = TransitiveClosure(Input("B"));
+  auto t = TypeOf(tc, s);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, Type::Bag(TupU(2)));
+}
+
+TEST(TypecheckTest, ConstLiteralTypes) {
+  Schema s;
+  Bag b = MakeBagOf({MakeTuple({MakeAtom("a")})});
+  auto t = TypeOf(ConstBag(b), s);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, Type::Bag(TupU(1)));
+}
+
+// ----------------------------------------------------------- fragment info
+
+TEST(AnalysisTest, PowerNestingCountsNestedPowersets) {
+  Schema s = FlatSchema();
+  // P(P(B)) has power nesting 2; δP δP has nesting 2 as well (they nest);
+  // P(B) × P(B) has nesting 1 (parallel, not nested).
+  auto a1 = AnalyzeExpr(Pow(Pow(Input("B"))), s);
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(a1->power_nesting, 2);
+  auto a2 = AnalyzeExpr(Destroy(Pow(Destroy(Pow(Input("B"))))), s);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->power_nesting, 2);
+  auto a3 = AnalyzeExpr(Uplus(Destroy(Pow(Input("B"))),
+                              Destroy(Pow(Input("B")))),
+                        s);
+  ASSERT_TRUE(a3.ok());
+  EXPECT_EQ(a3->power_nesting, 1);
+}
+
+TEST(AnalysisTest, MaxTypeNestingTracksIntermediates) {
+  Schema s = FlatSchema();
+  // The output of δ(P(B)) is flat but the intermediate P(B) has nesting 2.
+  auto a = AnalyzeExpr(Destroy(Pow(Input("B"))), s);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->type.BagNesting(), 1);
+  EXPECT_EQ(a->max_type_nesting, 2);
+}
+
+TEST(AnalysisTest, OpCountsAndFlags) {
+  Schema s = FlatSchema();
+  Expr e = Uplus(Powbag(Input("B")) , Powbag(Input("B")));
+  auto a = AnalyzeExpr(Destroy(e), s);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->uses_powerbag);
+  EXPECT_FALSE(a->uses_fixpoint);
+  EXPECT_EQ(a->op_counts.at(ExprKind::kPowerbag), 2u);
+  auto b = AnalyzeExpr(TransitiveClosure(Input("B")), s);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->uses_fixpoint);
+}
+
+TEST(AnalysisTest, CheckFragmentStratifies) {
+  Schema s = FlatSchema();
+  // ε and merges stay in BALG^1; one powerset needs BALG^2; P(P(·)) BALG^3.
+  EXPECT_TRUE(CheckFragment(Eps(Input("B")), s, 1).ok());
+  EXPECT_FALSE(CheckFragment(Pow(Input("B")), s, 1).ok());
+  EXPECT_TRUE(CheckFragment(Pow(Input("B")), s, 2).ok());
+  EXPECT_FALSE(CheckFragment(Pow(Pow(Input("B"))), s, 2).ok());
+  EXPECT_TRUE(CheckFragment(Pow(Pow(Input("B"))), s, 3).ok());
+}
+
+TEST(AnalysisTest, CheckBalg1RejectsPowerAndDestroy) {
+  Schema s = FlatSchema();
+  EXPECT_TRUE(CheckBalg1(Uplus(Input("B"), Eps(Input("B"))), s).ok());
+  EXPECT_FALSE(CheckBalg1(Destroy(Pow(Input("B"))), s).ok());
+  // MAP producing a nested type also leaves BALG^1.
+  EXPECT_FALSE(CheckBalg1(Map(Beta(Var(0)), Input("B")), s).ok());
+}
+
+TEST(AnalysisTest, Balg1QueriesFromThePaperAreBalg1) {
+  Schema s{{"R", Type::Bag(TupU(1))},
+           {"S", Type::Bag(TupU(1))},
+           {"G", Type::Bag(TupU(2))},
+           {"Leq", Type::Bag(TupU(2))}};
+  Value unit = MakeAtom("u");
+  EXPECT_TRUE(CheckBalg1(CardGreater(Input("R"), Input("S")), s).ok());
+  EXPECT_TRUE(
+      CheckBalg1(InDegreeGreaterThanOut(Input("G"), MakeAtom("c")), s).ok());
+  EXPECT_TRUE(CheckBalg1(EvenCardinalityWithOrder(Input("R"), Input("Leq"),
+                                                  unit),
+                         s)
+                  .ok());
+  // The §3 subtraction-from-powerset construction is *not* BALG^1 — the
+  // paper's point that the nesting increase is essential (Prop 4.1).
+  EXPECT_FALSE(
+      CheckBalg1(MonusViaPowerset(Input("R"), Input("S")), s).ok());
+}
+
+TEST(AnalysisTest, BoundedFixpointTransitiveClosureStaysBalg1) {
+  // §6 end: "Transitive closure is expressible in the extension of BALG1
+  // to bounded fixpoint" — the bounded-TC expression uses only flat types
+  // and no powerset/bag-destroy.
+  Schema s{{"G", Type::Bag(TupU(2))}};
+  EXPECT_TRUE(CheckBalg1(TransitiveClosureBounded(Input("G")), s).ok());
+  // The plain-IFP variant is also flat, but Theorem 6.6 shows unbounded
+  // IFP over nested types is Turing complete — boundedness is what keeps
+  // the complexity tame.
+  auto a = AnalyzeExpr(TransitiveClosureBounded(Input("G")), s);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->max_type_nesting, 1);
+  EXPECT_EQ(a->power_nesting, 0);
+}
+
+TEST(AnalysisTest, NodeCountMatchesExprSize) {
+  Schema s = FlatSchema();
+  Expr e = Uplus(Input("B"), Eps(Input("B")));
+  auto a = AnalyzeExpr(e, s);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->node_count, ExprSize(e));
+}
+
+}  // namespace
+}  // namespace bagalg
