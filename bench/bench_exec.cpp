@@ -14,6 +14,7 @@
 #include "src/algebra/derived.h"
 #include "src/algebra/eval.h"
 #include "src/exec/compile.h"
+#include "src/obs/trace.h"
 #include "src/stats/expr_gen.h"
 #include "src/stats/sampler.h"
 #include "src/util/rng.h"
@@ -43,8 +44,10 @@ Database MakeDb(size_t elements, uint64_t seed = 7) {
 }
 
 void PrintAgreementSweep() {
-  std::printf("=== pipeline vs evaluator: agreement on random BALG¹ "
-              "queries ===\n");
+  // stderr, so --benchmark_format=json output on stdout stays parseable.
+  std::fprintf(stderr,
+               "=== pipeline vs evaluator: agreement on random BALG¹ "
+               "queries ===\n");
   Rng rng(4242);
   Type tup2 = Type::Tuple({Type::Atom(), Type::Atom()});
   Schema schema{{"R", Type::Bag(tup2)}, {"S", Type::Bag(tup2)}};
@@ -62,13 +65,17 @@ void PrintAgreementSweep() {
     auto r2 = exec::RunPipeline(*e, db);
     if (r1.ok() && r2.ok() && *r1 == *r2) ++agree;
   }
-  std::printf("  %d/%d random queries: identical bags\n\n", agree, trials);
+  std::fprintf(stderr, "  %d/%d random queries: identical bags\n\n", agree,
+               trials);
 }
 
 void BM_EvaluatorJoin(benchmark::State& state) {
   Database db = MakeDb(static_cast<size_t>(state.range(0)));
   Expr q = JoinChain();
   Evaluator eval;
+  // Null unless --bagalg_trace=FILE was passed: the disabled path costs one
+  // pointer test per AST node, which is what the ≤2% budget measures.
+  eval.set_tracer(obs::GlobalTracerIfEnabled());
   for (auto _ : state) {
     auto r = eval.EvalToBag(q, db);
     benchmark::DoNotOptimize(r);
@@ -79,8 +86,9 @@ BENCHMARK(BM_EvaluatorJoin)->RangeMultiplier(4)->Range(16, 1024);
 void BM_PipelineJoin(benchmark::State& state) {
   Database db = MakeDb(static_cast<size_t>(state.range(0)));
   Expr q = JoinChain();
+  exec::ExecOptions options{obs::GlobalTracerIfEnabled()};
   for (auto _ : state) {
-    auto r = exec::RunPipeline(q, db);
+    auto r = exec::RunPipeline(q, db, options);
     benchmark::DoNotOptimize(r);
   }
 }
@@ -120,6 +128,7 @@ BENCHMARK(BM_PipelineUnionChain)->RangeMultiplier(8)->Range(64, 1 << 14);
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::EnableGlobalTraceFromArgs(&argc, argv);
   PrintAgreementSweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

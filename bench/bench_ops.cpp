@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/bag_ops.h"
+#include "src/obs/trace.h"
 #include "src/stats/sampler.h"
 #include "src/util/rng.h"
 
@@ -124,4 +125,14 @@ BENCHMARK(BM_NestOp)->RangeMultiplier(8)->Range(64, 1 << 13);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --bagalg_trace=FILE writes a Chrome trace of any spans recorded during
+  // the run (empty but valid for these core-op benches, which sit below the
+  // instrumented layers).
+  bagalg::obs::EnableGlobalTraceFromArgs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

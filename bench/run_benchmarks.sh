@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary with --benchmark_format=json and saves the
+# machine-readable output as BENCH_<name>.json, one file per bench, so the
+# perf trajectory accumulates run over run.
+#
+#   bench/run_benchmarks.sh [BUILD_DIR] [OUT_DIR]
+#
+# Defaults: BUILD_DIR=build, OUT_DIR=bench/results. Honors
+# BENCHMARK_MIN_TIME (default 0.05s per benchmark) to trade precision for
+# wall time. Several benches print human-readable preambles before the JSON
+# document; the preamble goes to stderr (or is stripped here for the ones
+# that still use stdout), so every BENCH_*.json is a valid JSON document.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench/results}"
+MIN_TIME="${BENCHMARK_MIN_TIME:-0.05}"
+
+if ! ls "${BUILD_DIR}"/bench/bench_* >/dev/null 2>&1; then
+  echo "no bench binaries under ${BUILD_DIR}/bench — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+status=0
+for bin in "${BUILD_DIR}"/bench/bench_*; do
+  [ -x "${bin}" ] || continue
+  case "${bin}" in *.json|*.txt) continue ;; esac
+  name="$(basename "${bin}")"
+  out="${OUT_DIR}/BENCH_${name}.json"
+  echo "== ${name} -> ${out}" >&2
+  raw="$(mktemp)"
+  if "${bin}" --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+      >"${raw}" 2>/dev/null; then
+    # Keep everything from the first line that opens the JSON document
+    # (benches with custom mains may print a preamble first).
+    # google-benchmark's JSON document opens with a line that is exactly
+    # "{"; preamble tables never do (even ones with lines like "{2,4,6} ...").
+    awk 'started || /^\{[[:space:]]*$/ { started = 1; print }' "${raw}" >"${out}"
+    if [ ! -s "${out}" ]; then
+      echo "   WARNING: ${name} produced no JSON" >&2
+      status=1
+    fi
+  else
+    echo "   WARNING: ${name} failed" >&2
+    status=1
+  fi
+  rm -f "${raw}"
+done
+exit "${status}"

@@ -1,13 +1,17 @@
 // Interactive REPL / script runner for the bagalg surface syntax.
 //
-//   $ ./build/examples/repl                 # interactive
-//   $ ./build/examples/repl script.bag      # run a script file
+//   $ ./build/examples/repl                      # interactive
+//   $ ./build/examples/repl script.bag           # run a script file
+//   $ ./build/examples/repl --trace=t.json s.bag # ... with query tracing
 //   $ echo "eval uplus('{{a}}, '{{a}})" | ./build/examples/repl
 //
 // Commands: let NAME = VALUE | schema NAME : TYPE | eval EXPR | count EXPR
-//           type EXPR | analyze EXPR | optimize EXPR | stats | reset
+//           exec EXPR | type EXPR | analyze EXPR | explain [analyze] EXPR
+//           optimize EXPR | stats | timing on|off | \metrics | \trace FILE
+//           reset
 // See src/lang/script.h for the full description.
 
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -20,10 +24,25 @@ using namespace bagalg;
 int main(int argc, char** argv) {
   lang::ScriptRunner runner;
 
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  const char* script_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    constexpr char kTraceFlag[] = "--trace=";
+    if (std::strncmp(argv[i], kTraceFlag, sizeof(kTraceFlag) - 1) == 0) {
+      auto r = runner.RunLine(std::string("\\trace ") +
+                              (argv[i] + sizeof(kTraceFlag) - 1));
+      if (!r.ok()) {
+        std::cerr << r.status() << "\n";
+        return 1;
+      }
+      continue;
+    }
+    script_path = argv[i];
+  }
+
+  if (script_path != nullptr) {
+    std::ifstream file(script_path);
     if (!file) {
-      std::cerr << "cannot open " << argv[1] << "\n";
+      std::cerr << "cannot open " << script_path << "\n";
       return 1;
     }
     std::ostringstream text;
@@ -40,8 +59,9 @@ int main(int argc, char** argv) {
   bool interactive = true;
   if (interactive) {
     std::cout << "bagalg — a nested bag algebra (Grumbach & Milo, PODS'93)\n"
-              << "commands: let, schema, eval, count, type, analyze, "
-                 "optimize, stats, reset. Ctrl-D exits.\n";
+              << "commands: let, schema, eval, count, exec, type, analyze, "
+                 "explain [analyze], optimize, stats, timing, \\metrics, "
+                 "\\trace, reset. Ctrl-D exits.\n";
   }
   std::string line;
   while (true) {

@@ -7,6 +7,20 @@
 
 namespace bagalg {
 
+void EvalStats::Merge(const EvalStats& other) {
+  steps += other.steps;
+  for (size_t k = 0; k < op_counts.size(); ++k) {
+    op_counts[k] += other.op_counts[k];
+  }
+  max_distinct = std::max(max_distinct, other.max_distinct);
+  max_mult_bits = std::max(max_mult_bits, other.max_mult_bits);
+  if (other.max_standard_size > max_standard_size) {
+    max_standard_size = other.max_standard_size;
+  }
+  max_counted_size = std::max(max_counted_size, other.max_counted_size);
+  fixpoint_iterations += other.fixpoint_iterations;
+}
+
 std::string EvalStats::ToString() const {
   std::ostringstream os;
   os << "steps=" << steps << " max_distinct=" << max_distinct
@@ -30,10 +44,60 @@ namespace {
 class Walker {
  public:
   Walker(const Limits& limits, bool track_sizes, EvalStats* stats,
-         const Database& db)
-      : limits_(limits), track_sizes_(track_sizes), stats_(stats), db_(db) {}
+         const Database& db, obs::Tracer* tracer, NodeProfileMap* profiles)
+      : limits_(limits),
+        track_sizes_(track_sizes),
+        stats_(stats),
+        db_(db),
+        // Pre-resolve the enabled check so the per-node cost of disabled
+        // tracing is one null test.
+        tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        profiles_(profiles) {}
 
+  // Kept tiny so the disabled-instrumentation fast path inlines into every
+  // recursive call site as branch + direct EvalNode call.
   Result<Value> Eval(const Expr& expr) {
+    if (tracer_ == nullptr && profiles_ == nullptr) [[likely]] {
+      return EvalNode(expr);
+    }
+    return EvalInstrumented(expr);
+  }
+
+ private:
+  __attribute__((noinline)) Result<Value> EvalInstrumented(const Expr& expr) {
+    obs::Span span;
+    if (tracer_ != nullptr) {
+      span = tracer_->StartSpan(ExprKindName(expr->kind), "eval");
+    }
+    uint64_t start_ns = profiles_ != nullptr ? obs::MonotonicNowNs() : 0;
+    Result<Value> out = EvalNode(expr);
+    uint64_t distinct = 0;
+    uint64_t total = 0;
+    if (out.ok() && out.value().IsBag()) {
+      const Bag& bag = out.value().bag();
+      distinct = bag.DistinctCount();
+      total = bag.TotalCount().ToUint64().ok()
+                  ? bag.TotalCount().ToUint64().value()
+                  : ~uint64_t{0};
+    }
+    if (profiles_ != nullptr) {
+      NodeProfile& p = (*profiles_)[expr.raw()];
+      p.calls += 1;
+      p.wall_ns += obs::MonotonicNowNs() - start_ns;
+      p.max_distinct = std::max(p.max_distinct, distinct);
+      p.max_total = std::max(p.max_total, total);
+    }
+    if (span.active()) {
+      if (out.ok() && out.value().IsBag()) {
+        span.AddAttr("distinct", distinct);
+      } else if (!out.ok()) {
+        span.AddAttr("error", StatusCodeName(out.status().code()));
+      }
+    }
+    return out;
+  }
+
+  Result<Value> EvalNode(const Expr& expr) {
     stats_->steps += 1;
     if (limits_.max_eval_steps != 0 &&
         stats_->steps > limits_.max_eval_steps) {
@@ -182,6 +246,11 @@ class Walker {
           }
           ++iterations;
           stats_->fixpoint_iterations += 1;
+          obs::Span iter_span;
+          if (tracer_ != nullptr) {
+            iter_span = tracer_->StartSpan("ifp.iteration", "eval");
+            iter_span.AddAttr("iteration", iterations);
+          }
           binders_.push_back(Value::FromBag(current));
           auto step = Eval(n.children[0]);
           binders_.pop_back();
@@ -195,6 +264,9 @@ class Walker {
             BAGALG_ASSIGN_OR_RETURN(next, Intersect(next, bound));
           }
           BAGALG_RETURN_IF_ERROR(Observe(next));
+          if (iter_span.active()) {
+            iter_span.AddAttr("distinct", uint64_t{next.DistinctCount()});
+          }
           if (next == current) break;
           current = std::move(next);
         }
@@ -204,7 +276,6 @@ class Walker {
     return Status::Internal("unhandled expression kind in eval");
   }
 
- private:
   Result<Bag> EvalBag(const Expr& expr) {
     BAGALG_ASSIGN_OR_RETURN(Value v, Eval(expr));
     if (!v.IsBag()) {
@@ -247,13 +318,16 @@ class Walker {
   bool track_sizes_;
   EvalStats* stats_;
   const Database& db_;
+  obs::Tracer* tracer_;
+  NodeProfileMap* profiles_;
   std::vector<Value> binders_;
 };
 
 }  // namespace
 
 Result<Value> Evaluator::Eval(const Expr& expr, const Database& db) {
-  Walker walker(limits_, track_sizes_, &stats_, db);
+  Walker walker(limits_, track_sizes_, &stats_, db, tracer_,
+                node_profiling_ ? &node_profiles_ : nullptr);
   return walker.Eval(expr);
 }
 

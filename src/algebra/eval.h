@@ -16,11 +16,13 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 
 #include "src/algebra/database.h"
 #include "src/algebra/expr.h"
 #include "src/core/bag_ops.h"
 #include "src/core/limits.h"
+#include "src/obs/trace.h"
 #include "src/util/bignat.h"
 #include "src/util/result.h"
 
@@ -33,6 +35,9 @@ struct EvalStats {
   uint64_t steps = 0;
   /// Applications per operator kind.
   std::array<uint64_t, 32> op_counts{};
+  static_assert(kExprKindCount <= std::tuple_size_v<decltype(op_counts)>,
+                "op_counts is too small for the ExprKind enumerators; "
+                "grow the array");
   /// Largest number of distinct elements in any intermediate bag.
   uint64_t max_distinct = 0;
   /// Largest multiplicity bit-length seen in any intermediate bag.
@@ -46,12 +51,37 @@ struct EvalStats {
   uint64_t fixpoint_iterations = 0;
 
   uint64_t CountOf(ExprKind kind) const {
-    return op_counts[static_cast<size_t>(kind)];
+    size_t i = static_cast<size_t>(kind);
+    return i < op_counts.size() ? op_counts[i] : 0;
   }
+
+  /// Restores the all-zero state.
+  void Reset() { *this = EvalStats{}; }
+
+  /// Accumulates another run's counters into this one: totals add, maxima
+  /// take the larger value. Used to aggregate across REPL statements and to
+  /// combine per-shard evaluator stats.
+  void Merge(const EvalStats& other);
 
   /// Multi-line human-readable dump.
   std::string ToString() const;
 };
+
+/// Per-AST-node runtime profile collected by Evaluator when node profiling
+/// is on — the data behind `explain analyze`.
+struct NodeProfile {
+  /// Times the node was applied (fixpoint bodies once per iteration).
+  uint64_t calls = 0;
+  /// Cumulative wall time, children included.
+  uint64_t wall_ns = 0;
+  /// Largest distinct-element count over the node's bag results.
+  uint64_t max_distinct = 0;
+  /// Largest total cardinality (clamped to uint64) over bag results.
+  uint64_t max_total = 0;
+};
+
+/// Keyed by node identity (ExprNode pointer), like the typecheck caches.
+using NodeProfileMap = std::unordered_map<const ExprNode*, NodeProfile>;
 
 /// Evaluates expressions against a database under a resource budget.
 class Evaluator {
@@ -63,6 +93,20 @@ class Evaluator {
   /// overhead in the worst case; off by default).
   void set_track_sizes(bool on) { track_sizes_ = on; }
 
+  /// Attaches a tracer: every AST-node application becomes a span (fixpoint
+  /// iterations as child spans) carrying distinct-count / multiplicity-bits
+  /// attributes. Pass nullptr (the default) for zero-overhead evaluation —
+  /// the hot path then pays a single pointer test per node.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// Enables per-node profiling (calls, cumulative wall time, max result
+  /// bag sizes, keyed by ExprNode identity) — the data consumed by
+  /// ExplainAnalyzeExpr. Off by default.
+  void set_node_profiling(bool on) { node_profiling_ = on; }
+  bool node_profiling() const { return node_profiling_; }
+  const NodeProfileMap& node_profiles() const { return node_profiles_; }
+
   /// Evaluates `expr` (which may denote any object) against `db`.
   Result<Value> Eval(const Expr& expr, const Database& db);
 
@@ -71,7 +115,10 @@ class Evaluator {
 
   /// Statistics accumulated since construction / last ResetStats.
   const EvalStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = EvalStats{}; }
+  void ResetStats() {
+    stats_.Reset();
+    node_profiles_.clear();
+  }
 
   const Limits& limits() const { return limits_; }
 
@@ -79,7 +126,10 @@ class Evaluator {
   friend class EvalFrame;
   Limits limits_;
   bool track_sizes_ = false;
+  bool node_profiling_ = false;
+  obs::Tracer* tracer_ = nullptr;
   EvalStats stats_;
+  NodeProfileMap node_profiles_;
 };
 
 }  // namespace bagalg

@@ -1,5 +1,6 @@
 #include "src/algebra/explain.h"
 
+#include <cstdio>
 #include <map>
 #include <sstream>
 
@@ -9,8 +10,28 @@ namespace bagalg {
 
 namespace {
 
+/// "482ns" / "12.3us" / "4.56ms" / "1.20s".
+std::string FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.3gus",
+                  static_cast<double>(ns) / 1e3);
+  } else if (ns < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.3gms",
+                  static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3gs",
+                  static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
 void Render(const Expr& e,
-            const std::map<const ExprNode*, Type>& types, int indent,
+            const std::map<const ExprNode*, Type>& types,
+            const NodeProfileMap* profiles, int indent,
             size_t binder_depth, std::ostringstream& os) {
   const ExprNode& n = e.node();
   os << std::string(static_cast<size_t>(indent) * 2, ' ');
@@ -44,6 +65,25 @@ void Render(const Expr& e,
   if (it != types.end()) {
     os << " : " << it->second.ToString();
   }
+  if (n.kind == ExprKind::kPowerset || n.kind == ExprKind::kPowerbag) {
+    os << " [powerset]";
+  }
+  if (profiles != nullptr) {
+    auto pit = profiles->find(e.raw());
+    if (pit != profiles->end()) {
+      const NodeProfile& p = pit->second;
+      os << " (calls=" << p.calls << " time=" << FormatNs(p.wall_ns);
+      if (it != types.end() && it->second.IsBag()) {
+        os << " rows=" << p.max_distinct;
+        if (p.max_total != p.max_distinct) {
+          os << " max_total=" << p.max_total;
+        }
+      }
+      os << ")";
+    } else {
+      os << " (never executed)";
+    }
+  }
   os << "\n";
   // Children: lambda bodies get a label and an extra binder; leafish
   // bodies are rendered inline to keep plans compact.
@@ -61,11 +101,11 @@ void Render(const Expr& e,
     if (label != nullptr) {
       os << std::string(static_cast<size_t>(indent + 1) * 2, ' ') << label
          << ":\n";
-      Render(n.children[i], types, indent + 2,
+      Render(n.children[i], types, profiles, indent + 2,
              binder_depth + static_cast<size_t>(binders), os);
       continue;
     }
-    Render(n.children[i], types, indent + 1,
+    Render(n.children[i], types, profiles, indent + 1,
            binder_depth + static_cast<size_t>(binders), os);
   }
 }
@@ -76,7 +116,26 @@ Result<std::string> ExplainExpr(const Expr& expr, const Schema& schema) {
   std::map<const ExprNode*, Type> types;
   BAGALG_RETURN_IF_ERROR(AnalyzeExpr(expr, schema, &types).status());
   std::ostringstream os;
-  Render(expr, types, 0, 0, os);
+  Render(expr, types, nullptr, 0, 0, os);
+  return os.str();
+}
+
+Result<std::string> ExplainAnalyzeExpr(const Expr& expr, const Database& db,
+                                       Evaluator& evaluator) {
+  std::map<const ExprNode*, Type> types;
+  BAGALG_RETURN_IF_ERROR(AnalyzeExpr(expr, db.schema(), &types).status());
+  bool was_profiling = evaluator.node_profiling();
+  evaluator.set_node_profiling(true);
+  Result<Value> result = evaluator.Eval(expr, db);
+  evaluator.set_node_profiling(was_profiling);
+  BAGALG_RETURN_IF_ERROR(result.status());
+  std::ostringstream os;
+  Render(expr, types, &evaluator.node_profiles(), 0, 0, os);
+  if (result.value().IsBag()) {
+    const Bag& bag = result.value().bag();
+    os << "result: " << bag.DistinctCount() << " distinct, total "
+       << bag.TotalCount() << "\n";
+  }
   return os.str();
 }
 

@@ -50,6 +50,12 @@ enum class ExprKind {
   kBoundedIfp,     ///< bounded fixpoint [Suc93] (§6 end)
 };
 
+/// Number of ExprKind enumerators. Keep in sync when adding operators —
+/// EvalStats and other per-kind tables are sized (and static_asserted)
+/// against this.
+inline constexpr size_t kExprKindCount =
+    static_cast<size_t>(ExprKind::kBoundedIfp) + 1;
+
 /// Human-readable operator name ("uplus", "pow", ...), matching the surface
 /// syntax keyword where one exists.
 const char* ExprKindName(ExprKind kind);

@@ -6,6 +6,7 @@
 #include "src/algebra/derived.h"
 #include "src/algebra/eval.h"
 #include "src/algebra/typecheck.h"
+#include "src/obs/metrics.h"
 
 namespace bagalg {
 
@@ -106,6 +107,11 @@ class Rewriter {
   void Note(const char* rule) {
     changed_ = true;
     if (applied_ != nullptr) (*applied_)[rule] += 1;
+    // Process-wide rule-fire telemetry (the REPL's \metrics view).
+    obs::GlobalMetrics()
+        .GetCounter(std::string("rewrite.rule.") + rule)
+        ->Increment();
+    obs::GlobalMetrics().GetCounter("rewrite.rules_fired")->Increment();
   }
 
   Result<Expr> RewriteBottomUp(const Expr& expr) {

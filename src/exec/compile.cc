@@ -29,54 +29,70 @@ Status CheckLambdaBody(const Expr& body) {
   }
 }
 
-Result<OperatorPtr> Compile(const Expr& expr, const Database& db) {
+Result<OperatorPtr> Compile(const Expr& expr, const Database& db,
+                            obs::Tracer* tracer) {
   const ExprNode& n = expr.node();
+  // Every produced operator is routed through Trace(), which wraps it with
+  // the timing decorator when a tracer is attached (identity otherwise).
+  auto Trace = [tracer](OperatorPtr op) {
+    return WrapWithTracing(std::move(op), tracer);
+  };
   switch (n.kind) {
     case ExprKind::kInput: {
       BAGALG_ASSIGN_OR_RETURN(Bag bag, db.Get(n.name));
-      return MakeScan(std::move(bag));
+      return Trace(MakeScan(std::move(bag)));
     }
     case ExprKind::kConst: {
       if (!n.literal->IsBag()) {
         return Status::Unsupported("non-bag constant at pipeline root");
       }
-      return MakeScan(n.literal->bag());
+      return Trace(MakeScan(n.literal->bag()));
     }
     case ExprKind::kAdditiveUnion: {
-      BAGALG_ASSIGN_OR_RETURN(OperatorPtr l, Compile(n.children[0], db));
-      BAGALG_ASSIGN_OR_RETURN(OperatorPtr r, Compile(n.children[1], db));
-      return MakeUnionAll(std::move(l), std::move(r));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr l,
+                              Compile(n.children[0], db, tracer));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr r,
+                              Compile(n.children[1], db, tracer));
+      return Trace(MakeUnionAll(std::move(l), std::move(r)));
     }
     case ExprKind::kSubtract:
     case ExprKind::kMaxUnion:
     case ExprKind::kIntersect: {
-      BAGALG_ASSIGN_OR_RETURN(OperatorPtr l, Compile(n.children[0], db));
-      BAGALG_ASSIGN_OR_RETURN(OperatorPtr r, Compile(n.children[1], db));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr l,
+                              Compile(n.children[0], db, tracer));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr r,
+                              Compile(n.children[1], db, tracer));
       MergeKind kind = n.kind == ExprKind::kSubtract ? MergeKind::kMonus
                        : n.kind == ExprKind::kMaxUnion
                            ? MergeKind::kMaxUnion
                            : MergeKind::kIntersect;
-      return MakeMerge(kind, std::move(l), std::move(r));
+      return Trace(MakeMerge(kind, std::move(l), std::move(r)));
     }
     case ExprKind::kProduct: {
-      BAGALG_ASSIGN_OR_RETURN(OperatorPtr l, Compile(n.children[0], db));
-      BAGALG_ASSIGN_OR_RETURN(OperatorPtr r, Compile(n.children[1], db));
-      return MakeNestedLoopProduct(std::move(l), std::move(r));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr l,
+                              Compile(n.children[0], db, tracer));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr r,
+                              Compile(n.children[1], db, tracer));
+      return Trace(MakeNestedLoopProduct(std::move(l), std::move(r)));
     }
     case ExprKind::kMap: {
       BAGALG_RETURN_IF_ERROR(CheckLambdaBody(n.children[0]));
-      BAGALG_ASSIGN_OR_RETURN(OperatorPtr child, Compile(n.children[1], db));
-      return MakeMapProject(std::move(child), n.children[0]);
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr child,
+                              Compile(n.children[1], db, tracer));
+      return Trace(MakeMapProject(std::move(child), n.children[0]));
     }
     case ExprKind::kSelect: {
       BAGALG_RETURN_IF_ERROR(CheckLambdaBody(n.children[0]));
       BAGALG_RETURN_IF_ERROR(CheckLambdaBody(n.children[1]));
-      BAGALG_ASSIGN_OR_RETURN(OperatorPtr child, Compile(n.children[2], db));
-      return MakeSelect(std::move(child), n.children[0], n.children[1]);
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr child,
+                              Compile(n.children[2], db, tracer));
+      return Trace(MakeSelect(std::move(child), n.children[0],
+                              n.children[1]));
     }
     case ExprKind::kDupElim: {
-      BAGALG_ASSIGN_OR_RETURN(OperatorPtr child, Compile(n.children[0], db));
-      return MakeDupElim(std::move(child));
+      BAGALG_ASSIGN_OR_RETURN(OperatorPtr child,
+                              Compile(n.children[0], db, tracer));
+      return Trace(MakeDupElim(std::move(child)));
     }
     default:
       return Status::Unsupported(
@@ -87,13 +103,27 @@ Result<OperatorPtr> Compile(const Expr& expr, const Database& db) {
 
 }  // namespace
 
-Result<OperatorPtr> CompilePipeline(const Expr& expr, const Database& db) {
-  return Compile(expr, db);
+Result<OperatorPtr> CompilePipeline(const Expr& expr, const Database& db,
+                                    const ExecOptions& options) {
+  obs::Tracer* tracer =
+      options.tracer != nullptr && options.tracer->enabled() ? options.tracer
+                                                             : nullptr;
+  return Compile(expr, db, tracer);
 }
 
-Result<Bag> RunPipeline(const Expr& expr, const Database& db) {
-  BAGALG_ASSIGN_OR_RETURN(OperatorPtr root, CompilePipeline(expr, db));
-  return Collect(root.get());
+Result<Bag> RunPipeline(const Expr& expr, const Database& db,
+                        const ExecOptions& options) {
+  BAGALG_ASSIGN_OR_RETURN(OperatorPtr root,
+                          CompilePipeline(expr, db, options));
+  obs::Span span;
+  if (options.tracer != nullptr) {
+    span = options.tracer->StartSpan("exec.pipeline", "exec");
+  }
+  Result<Bag> out = Collect(root.get());
+  if (span.active() && out.ok()) {
+    span.AddAttr("rows", uint64_t{out.value().DistinctCount()});
+  }
+  return out;
 }
 
 }  // namespace bagalg::exec

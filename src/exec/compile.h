@@ -17,12 +17,22 @@
 
 namespace bagalg::exec {
 
+/// Execution knobs. Default-constructed options run uninstrumented.
+struct ExecOptions {
+  /// When non-null and enabled, every physical operator is wrapped with a
+  /// tracing decorator (see WrapWithTracing) and RunPipeline adds a root
+  /// "exec.pipeline" span.
+  obs::Tracer* tracer = nullptr;
+};
+
 /// Builds the physical pipeline for `expr` against `db`. Input bags are
 /// bound (copied by shared reference) at compile time.
-Result<OperatorPtr> CompilePipeline(const Expr& expr, const Database& db);
+Result<OperatorPtr> CompilePipeline(const Expr& expr, const Database& db,
+                                    const ExecOptions& options = {});
 
 /// Convenience: compile + run to a canonical bag.
-Result<Bag> RunPipeline(const Expr& expr, const Database& db);
+Result<Bag> RunPipeline(const Expr& expr, const Database& db,
+                        const ExecOptions& options = {});
 
 }  // namespace bagalg::exec
 

@@ -1,6 +1,7 @@
 #include "src/exec/operators.h"
 
 #include "src/core/bag_ops.h"
+#include "src/obs/metrics.h"
 
 namespace bagalg::exec {
 
@@ -277,6 +278,69 @@ class MergeOp : public MaterializingOp {
   OperatorPtr right_;
 };
 
+class TracingOp : public Operator {
+ public:
+  TracingOp(OperatorPtr inner, obs::Tracer* tracer)
+      : inner_(std::move(inner)), tracer_(tracer) {}
+
+  Status Open() override {
+    span_.End();  // re-Open recycles the operator; close out the old cycle
+    span_ = tracer_->StartSpan("exec." + inner_->Name(), "exec");
+    rows_ = 0;
+    next_calls_ = 0;
+    next_ns_ = 0;
+    close_ns_ = 0;
+    uint64_t t0 = obs::MonotonicNowNs();
+    Status s = inner_->Open();
+    open_ns_ = obs::MonotonicNowNs() - t0;
+    if (!s.ok()) Finish("open-error");
+    return s;
+  }
+
+  Result<std::optional<Row>> Next() override {
+    uint64_t t0 = obs::MonotonicNowNs();
+    Result<std::optional<Row>> row = inner_->Next();
+    next_ns_ += obs::MonotonicNowNs() - t0;
+    ++next_calls_;
+    if (row.ok() && row.value().has_value()) ++rows_;
+    if (!row.ok()) Finish("next-error");
+    return row;
+  }
+
+  void Close() override {
+    uint64_t t0 = obs::MonotonicNowNs();
+    inner_->Close();
+    close_ns_ = obs::MonotonicNowNs() - t0;
+    Finish(nullptr);
+  }
+
+  std::string Name() const override { return inner_->Name(); }
+
+ private:
+  /// Ends the span with the cycle's statistics; safe to call repeatedly.
+  void Finish(const char* error) {
+    if (!span_.active()) return;
+    span_.AddAttr("rows", rows_);
+    span_.AddAttr("next_calls", next_calls_);
+    span_.AddAttr("open_us", static_cast<double>(open_ns_) / 1e3);
+    span_.AddAttr("next_us", static_cast<double>(next_ns_) / 1e3);
+    span_.AddAttr("close_us", static_cast<double>(close_ns_) / 1e3);
+    if (error != nullptr) span_.AddAttr("error", error);
+    span_.End();
+    obs::GlobalMetrics().GetCounter("exec.rows")->Increment(rows_);
+    obs::GlobalMetrics().GetCounter("exec.next_calls")->Increment(next_calls_);
+  }
+
+  OperatorPtr inner_;
+  obs::Tracer* tracer_;
+  obs::Span span_;
+  uint64_t rows_ = 0;
+  uint64_t next_calls_ = 0;
+  uint64_t open_ns_ = 0;
+  uint64_t next_ns_ = 0;
+  uint64_t close_ns_ = 0;
+};
+
 class DupElimOp : public MaterializingOp {
  public:
   explicit DupElimOp(OperatorPtr child) : child_(std::move(child)) {}
@@ -320,6 +384,11 @@ OperatorPtr MakeMerge(MergeKind kind, OperatorPtr left, OperatorPtr right) {
 
 OperatorPtr MakeDupElim(OperatorPtr child) {
   return std::make_unique<DupElimOp>(std::move(child));
+}
+
+OperatorPtr WrapWithTracing(OperatorPtr op, obs::Tracer* tracer) {
+  if (tracer == nullptr || !tracer->enabled()) return op;
+  return std::make_unique<TracingOp>(std::move(op), tracer);
 }
 
 }  // namespace bagalg::exec

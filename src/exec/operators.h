@@ -17,6 +17,7 @@
 
 #include "src/algebra/expr.h"
 #include "src/exec/operator.h"
+#include "src/obs/trace.h"
 
 namespace bagalg::exec {
 
@@ -48,6 +49,14 @@ OperatorPtr MakeMerge(MergeKind kind, OperatorPtr left, OperatorPtr right);
 
 /// ε: materializes and streams each distinct value once.
 OperatorPtr MakeDupElim(OperatorPtr child);
+
+/// Observability decorator: wraps `op` so each Open..Close cycle becomes a
+/// trace span named "exec.<name>" carrying the row count, Next() call
+/// count, and per-phase (open/next/close) wall time, and bumps the global
+/// metrics counters "exec.rows" / "exec.next_calls". Children wrapped the
+/// same way nest inside, since a parent opens before and closes after its
+/// children. Returns `op` unchanged when `tracer` is null.
+OperatorPtr WrapWithTracing(OperatorPtr op, obs::Tracer* tracer);
 
 }  // namespace bagalg::exec
 

@@ -5,7 +5,9 @@
 #include "src/algebra/explain.h"
 #include "src/algebra/rewrite.h"
 #include "src/algebra/typecheck.h"
+#include "src/exec/compile.h"
 #include "src/lang/parser.h"
+#include "src/obs/metrics.h"
 #include "src/util/strings.h"
 
 namespace bagalg::lang {
@@ -26,6 +28,16 @@ std::pair<std::string, std::string> SplitCommand(const std::string& line) {
 }  // namespace
 
 Result<std::string> ScriptRunner::RunLine(const std::string& line) {
+  Result<std::string> out = RunCommand(line);
+  // Keep the trace file valid after every traced statement, so scripts that
+  // end (or die) without `\trace off` still leave a loadable trace behind.
+  if (tracer_.enabled() && !trace_path_.empty()) {
+    (void)obs::WriteChromeTraceFile(tracer_, trace_path_);
+  }
+  return out;
+}
+
+Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
   std::string stripped = line.substr(0, line.find('#'));
   auto [cmd, rest] = SplitCommand(stripped);
   if (cmd.empty()) return std::string();
@@ -63,14 +75,48 @@ Result<std::string> ScriptRunner::RunLine(const std::string& line) {
 
   if (cmd == "eval" || cmd == "count") {
     BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    uint64_t steps_before = evaluator_.stats().steps;
+    uint64_t t0 = obs::MonotonicNowNs();
     BAGALG_ASSIGN_OR_RETURN(Value v, evaluator_.Eval(e, db_));
-    if (cmd == "count") {
-      if (!v.IsBag()) {
-        return Status::InvalidArgument("count requires a bag result");
-      }
-      return v.bag().TotalCount().ToString();
+    uint64_t wall_ns = obs::MonotonicNowNs() - t0;
+    uint64_t steps = evaluator_.stats().steps - steps_before;
+    obs::GlobalMetrics().GetCounter("repl.statements")->Increment();
+    obs::GlobalMetrics().GetCounter("repl.eval.steps")->Increment(steps);
+    obs::GlobalMetrics().GetHistogram("repl.eval.wall_us")
+        ->Observe(wall_ns / 1000);
+    std::string out = cmd == "count"
+                          ? (v.IsBag() ? v.bag().TotalCount().ToString()
+                                       : std::string())
+                          : v.ToString();
+    if (cmd == "count" && !v.IsBag()) {
+      return Status::InvalidArgument("count requires a bag result");
     }
-    return v.ToString();
+    if (timing_) {
+      std::ostringstream os;
+      os << out << "\n(time=" << static_cast<double>(wall_ns) / 1e6
+         << "ms steps=" << steps << ")";
+      return os.str();
+    }
+    return out;
+  }
+
+  if (cmd == "exec") {
+    // Run through the Volcano-style pipeline instead of the tree-walking
+    // evaluator; with tracing on, per-operator open/next/close spans land in
+    // the same trace as the evaluator's.
+    BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    uint64_t t0 = obs::MonotonicNowNs();
+    exec::ExecOptions options{tracer_.enabled() ? &tracer_ : nullptr};
+    BAGALG_ASSIGN_OR_RETURN(Bag b, exec::RunPipeline(e, db_, options));
+    uint64_t wall_ns = obs::MonotonicNowNs() - t0;
+    obs::GlobalMetrics().GetCounter("repl.statements")->Increment();
+    std::string out = Value::FromBag(b).ToString();
+    if (timing_) {
+      std::ostringstream os;
+      os << out << "\n(time=" << static_cast<double>(wall_ns) / 1e6 << "ms)";
+      return os.str();
+    }
+    return out;
   }
 
   if (cmd == "type") {
@@ -92,10 +138,68 @@ Result<std::string> ScriptRunner::RunLine(const std::string& line) {
   }
 
   if (cmd == "explain") {
-    BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
-    BAGALG_ASSIGN_OR_RETURN(std::string plan, ExplainExpr(e, db_.schema()));
+    // `explain analyze EXPR` evaluates with per-node profiling; plain
+    // `explain EXPR` stays static.
+    auto [sub, analyze_rest] = SplitCommand(rest);
+    std::string plan;
+    if (sub == "analyze") {
+      BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(analyze_rest));
+      BAGALG_ASSIGN_OR_RETURN(plan, ExplainAnalyzeExpr(e, db_, evaluator_));
+    } else {
+      BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+      BAGALG_ASSIGN_OR_RETURN(plan, ExplainExpr(e, db_.schema()));
+    }
     if (!plan.empty() && plan.back() == '\n') plan.pop_back();
     return plan;
+  }
+
+  if (cmd == "timing") {
+    if (rest == "on") {
+      timing_ = true;
+      return std::string("timing on");
+    }
+    if (rest == "off") {
+      timing_ = false;
+      return std::string("timing off");
+    }
+    return Status::ParseError("timing syntax: timing on|off");
+  }
+
+  if (cmd == "\\metrics") {
+    std::string dump = obs::GlobalMetrics().Snapshot().ToString();
+    return dump.empty() ? std::string("(no metrics recorded)") : dump;
+  }
+
+  if (cmd == "\\trace") {
+    if (rest.empty()) {
+      return Status::ParseError("trace syntax: \\trace FILE | \\trace off");
+    }
+    if (rest == "off") {
+      tracer_.set_enabled(false);
+      evaluator_.set_tracer(nullptr);
+      if (!trace_path_.empty()) {
+        BAGALG_RETURN_IF_ERROR(
+            obs::WriteChromeTraceFile(tracer_, trace_path_));
+        std::string msg = "trace written to " + trace_path_ + " (" +
+                          std::to_string(tracer_.event_count()) + " events)";
+        trace_path_.clear();
+        return msg;
+      }
+      return std::string("tracing off");
+    }
+    trace_path_ = rest;
+    tracer_.Clear();
+    tracer_.set_enabled(true);
+    // Write the (empty) trace now so an unwritable path fails loudly here
+    // rather than silently at the per-statement flushes.
+    Status st = obs::WriteChromeTraceFile(tracer_, trace_path_);
+    if (!st.ok()) {
+      tracer_.set_enabled(false);
+      trace_path_.clear();
+      return st;
+    }
+    evaluator_.set_tracer(&tracer_);
+    return "tracing to " + trace_path_;
   }
 
   if (cmd == "fragment") {

@@ -10,19 +10,30 @@
 ///   schema NAME : TYPE        declare an input's bag type
 ///   eval EXPR                 evaluate and print the resulting object
 ///   count EXPR                evaluate and print the total cardinality
+///   exec EXPR                 evaluate via the Volcano-style pipeline
+///                             (src/exec) instead of the tree walker
 ///   type EXPR                 print the static type
 ///   analyze EXPR              print fragment info (nesting, power nesting)
 ///   explain EXPR              print the typed operator tree (EXPLAIN)
+///   explain analyze EXPR      evaluate + print the tree with actual calls,
+///                             cumulative time, and max bag sizes per node
 ///   fragment K EXPR           check membership in BALG^K
 ///   optimize EXPR             print the rewritten expression
 ///   dump                      print the database as a replayable script
 ///   stats                     print evaluator statistics so far
+///   timing on|off             print wall time + steps after each eval/count
 ///   reset                     clear database and statistics
+///   \metrics                  print the process-wide metrics registry
+///   \trace FILE               start tracing evaluations; the Chrome
+///                             trace-event JSON is (re)written to FILE after
+///                             every traced statement
+///   \trace off                stop tracing (final flush included)
 
 #include <string>
 
 #include "src/algebra/database.h"
 #include "src/algebra/eval.h"
+#include "src/obs/trace.h"
 #include "src/util/result.h"
 
 namespace bagalg::lang {
@@ -31,7 +42,7 @@ namespace bagalg::lang {
 class ScriptRunner {
  public:
   explicit ScriptRunner(Limits limits = Limits::Default())
-      : evaluator_(limits) {}
+      : evaluator_(limits), tracer_(/*enabled=*/false) {}
 
   /// Executes one line; returns its printable output (possibly empty).
   Result<std::string> RunLine(const std::string& line);
@@ -43,9 +54,20 @@ class ScriptRunner {
   /// The accumulated database (for tests).
   const Database& database() const { return db_; }
 
+  /// The runner's evaluator (tests inspect stats/profiles through this).
+  const Evaluator& evaluator() const { return evaluator_; }
+
+  /// The runner's tracer (enabled/cleared by the \trace command).
+  const obs::Tracer& tracer() const { return tracer_; }
+
  private:
+  Result<std::string> RunCommand(const std::string& line);
+
   Database db_;
   Evaluator evaluator_;
+  obs::Tracer tracer_;
+  std::string trace_path_;
+  bool timing_ = false;
 };
 
 }  // namespace bagalg::lang

@@ -1,0 +1,63 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace bagalg::obs {
+
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string JsonQuote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  AppendJsonEscaped(&out, text);
+  out += '"';
+  return out;
+}
+
+void WriteJsonNumber(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << 0;
+    return;
+  }
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    os << static_cast<int64_t>(value);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  os << buf;
+}
+
+}  // namespace bagalg::obs

@@ -1,0 +1,28 @@
+#ifndef BAGALG_OBS_JSON_H_
+#define BAGALG_OBS_JSON_H_
+
+/// \file json.h
+/// Minimal JSON emission helpers shared by the obs exporters (Chrome
+/// trace-event files and flat metrics dumps). Emission only — bagalg never
+/// parses JSON, so there is no reader here.
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace bagalg::obs {
+
+/// Appends `text` to `out` with JSON string escaping (quotes, backslash,
+/// control characters); the surrounding quotes are NOT added.
+void AppendJsonEscaped(std::string* out, std::string_view text);
+
+/// Returns `text` as a quoted, escaped JSON string literal.
+std::string JsonQuote(std::string_view text);
+
+/// Writes a finite double the way JSON wants it (no inf/nan — those are
+/// clamped to 0); integral values print without a trailing ".0".
+void WriteJsonNumber(std::ostream& os, double value);
+
+}  // namespace bagalg::obs
+
+#endif  // BAGALG_OBS_JSON_H_

@@ -1,0 +1,153 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "src/obs/json.h"
+
+namespace bagalg::obs {
+
+void Histogram::Observe(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  size_t bucket = static_cast<size_t>(std::bit_width(value));
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, h] : other.histograms) {
+    HistogramSnapshot& mine = histograms[name];
+    mine.count += h.count;
+    mine.sum += h.sum;
+    mine.max = std::max(mine.max, h.max);
+    if (mine.buckets.size() < h.buckets.size()) {
+      mine.buckets.resize(h.buckets.size(), 0);
+    }
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      mine.buckets[i] += h.buckets[i];
+    }
+  }
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "" : ",") << JsonQuote(name) << ":" << value;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "" : ",") << JsonQuote(name) << ":" << value;
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "" : ",") << JsonQuote(name) << ":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"max\":" << h.max << ",\"buckets\":[";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      os << (i ? "," : "") << h.buckets[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    os << name << " = " << value << " (gauge)\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    os << name << ": count=" << h.count << " sum=" << h.sum
+       << " max=" << h.max << " mean=" << h.Mean() << "\n";
+  }
+  std::string out = os.str();
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return &it->second;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return &it->second;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name)).first;
+  }
+  return &it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h.count();
+    hs.sum = h.sum();
+    hs.max = h.max();
+    size_t last = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) != 0) last = i + 1;
+    }
+    hs.buckets.resize(last);
+    for (size_t i = 0; i < last; ++i) hs.buckets[i] = h.bucket(i);
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace bagalg::obs

@@ -1,0 +1,167 @@
+#ifndef BAGALG_OBS_TRACE_H_
+#define BAGALG_OBS_TRACE_H_
+
+/// \file trace.h
+/// Low-overhead query tracing for the bagalg engine.
+///
+/// A Tracer collects TraceEvents; an RAII Span measures one region (wall
+/// time, thread CPU time, nesting depth) and carries typed attributes such
+/// as a result bag's distinct count or multiplicity bit-length. When a
+/// tracer is disabled — or when instrumented code holds a null Tracer* —
+/// the hot path pays exactly one branch and no allocation: StartSpan on a
+/// disabled tracer returns an inactive Span whose every method is a no-op.
+///
+/// Finished traces export to the Chrome trace-event JSON format (load the
+/// file in chrome://tracing or https://ui.perfetto.dev) via
+/// WriteChromeTrace, so evaluator node applications, fixpoint iterations,
+/// and exec operator lifecycles render as a nested flame graph.
+///
+/// Thread safety: Tracer is internally synchronized (spans from multiple
+/// threads interleave safely); a Span itself must stay on one thread.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace bagalg::obs {
+
+/// Monotonic wall clock, nanoseconds from an arbitrary epoch.
+uint64_t MonotonicNowNs();
+
+/// Per-thread CPU clock, nanoseconds (0 where unsupported).
+uint64_t ThreadCpuNowNs();
+
+/// A typed span/event attribute value.
+using AttrValue = std::variant<int64_t, uint64_t, double, std::string>;
+
+/// One finished span.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  /// Start, nanoseconds since the tracer's epoch.
+  uint64_t start_ns = 0;
+  /// Wall-clock duration.
+  uint64_t wall_ns = 0;
+  /// Thread CPU time consumed while the span was open.
+  uint64_t cpu_ns = 0;
+  /// Thread the span ran on.
+  uint64_t tid = 0;
+  /// Nesting depth at open time (0 = outermost open span on the thread).
+  uint32_t depth = 0;
+  std::vector<std::pair<std::string, AttrValue>> attrs;
+};
+
+class Tracer;
+
+/// RAII handle for one open span. Inactive (default-constructed or from a
+/// disabled tracer) spans ignore all calls. Records into the tracer on End()
+/// or destruction, whichever comes first.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Attaches a typed attribute (kept in insertion order).
+  void AddAttr(std::string_view name, uint64_t value);
+  void AddAttr(std::string_view name, int64_t value);
+  void AddAttr(std::string_view name, double value);
+  void AddAttr(std::string_view name, std::string_view value);
+
+  /// Ends the span now and records it; later calls are no-ops.
+  void End();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::string_view name, std::string_view category);
+
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_;
+  uint64_t wall_start_ns_ = 0;
+  uint64_t cpu_start_ns_ = 0;
+};
+
+/// Collects spans. Construction chooses the initial enabled state; a
+/// disabled tracer hands out inactive spans.
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = true);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Opens a span (inactive if the tracer is disabled).
+  Span StartSpan(std::string_view name, std::string_view category = "");
+
+  /// Copies the finished events collected so far.
+  std::vector<TraceEvent> SnapshotEvents() const;
+  /// Moves the finished events out, leaving the tracer empty.
+  std::vector<TraceEvent> TakeEvents();
+  /// Number of finished events held.
+  size_t event_count() const;
+  /// Events discarded because the buffer cap was reached.
+  uint64_t dropped_count() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Discards all buffered events and the dropped counter.
+  void Clear();
+
+  /// Caps the event buffer (default 1M events); further spans are counted
+  /// in dropped_count() but not stored.
+  void set_max_events(size_t n) { max_events_ = n; }
+
+ private:
+  friend class Span;
+  void Record(TraceEvent event);
+
+  std::atomic<bool> enabled_;
+  const uint64_t epoch_ns_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  size_t max_events_ = 1u << 20;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// Writes events as a Chrome trace-event JSON document
+/// ({"traceEvents":[...]}, "X" complete events, microsecond timestamps).
+void WriteChromeTrace(const std::vector<TraceEvent>& events, std::ostream& os);
+
+/// Snapshot + export to a file. IO errors surface as InvalidArgument.
+Status WriteChromeTraceFile(const Tracer& tracer, const std::string& path);
+
+/// The process-wide tracer, constructed disabled. Instrumented code that is
+/// not handed an explicit tracer may consult this one.
+Tracer& GlobalTracer();
+
+/// &GlobalTracer() when it is enabled, nullptr otherwise — the natural value
+/// to pass to Evaluator::set_tracer and exec::ExecOptions.
+Tracer* GlobalTracerIfEnabled();
+
+/// Benchmark/CLI hook: scans argv for "--bagalg_trace=FILE". When present,
+/// removes the flag from argv (so google-benchmark does not reject it),
+/// enables the global tracer, and registers an atexit handler that writes
+/// the Chrome trace to FILE. Returns true iff the flag was found.
+bool EnableGlobalTraceFromArgs(int* argc, char** argv);
+
+/// Writes the global tracer's events to the path configured by
+/// EnableGlobalTraceFromArgs (no-op OK status if none was set).
+Status FlushGlobalTrace();
+
+}  // namespace bagalg::obs
+
+#endif  // BAGALG_OBS_TRACE_H_

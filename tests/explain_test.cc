@@ -44,6 +44,94 @@ TEST(ExplainTest, FixpointPlansShowStepAndBound) {
   EXPECT_NE(plan->find("bound:"), std::string::npos);
 }
 
+TEST(ExplainTest, FlagsPowersetNodes) {
+  Schema s = TestSchema();
+  auto plan = ExplainExpr(Pow(Input("G")), s);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("pow"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("[powerset]"), std::string::npos) << *plan;
+  auto bagplan = ExplainExpr(Powbag(Input("G")), s);
+  ASSERT_TRUE(bagplan.ok());
+  EXPECT_NE(bagplan->find("[powerset]"), std::string::npos) << *bagplan;
+  // Tractable plans carry no such flag.
+  auto flat = ExplainExpr(Uplus(Input("G"), Input("G")), s);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->find("[powerset]"), std::string::npos) << *flat;
+}
+
+// Every derived operator from src/algebra/derived.h renders through
+// ExplainExpr: the combinators produce well-typed trees and the renderer
+// handles each shape they expand to.
+TEST(ExplainTest, CoversAllDerivedOperators) {
+  const Value unit = MakeAtom("u");
+  const Value node = MakeAtom("n");
+  // R, S: unary-tuple bags; G, Leq: binary edge/order bags; NB: a bag of
+  // integer bags (the §3 aggregate input convention).
+  Type unary = Type::Bag(Type::Tuple({Type::Atom()}));
+  Type binary = Type::Bag(Type::Tuple({Type::Atom(), Type::Atom()}));
+  Schema s{{"R", unary},
+           {"S", unary},
+           {"G", binary},
+           {"Leq", binary},
+           {"NB", Type::Bag(unary)}};
+
+  auto member = MemberTestPair(Var(0), Input("R"));
+  auto subbag = SubbagTestPair(Beta(Var(0)), Input("R"));
+  struct Case {
+    const char* name;
+    Expr expr;
+  };
+  const Case cases[] = {
+      {"ShiftVars", Map(ShiftVars(Proj(Var(0), 1), 1, 0), Input("R"))},
+      {"IntAsBag", ConstBag(IntAsBag(3, unit))},
+      {"IntConst", IntConst(3, unit)},
+      {"CardAsInt", CardAsInt(Input("G"), unit)},
+      {"CountAgg", CountAgg(Input("G"), unit)},
+      {"SumAgg", SumAgg(Input("NB"))},
+      {"AverageAgg", AverageAgg(Input("NB"), unit)},
+      {"BoolTest", BoolTest(Input("R"), Input("S"), unit)},
+      {"MemberTestPair", Select(member.first, member.second, Input("R"))},
+      {"SubbagTestPair", Select(subbag.first, subbag.second, Input("R"))},
+      {"CardGreater", CardGreater(Input("R"), Input("S"))},
+      {"CardEqual", CardEqual(Input("R"), Input("S"), unit)},
+      {"AtLeastDistinct", AtLeastDistinct(Input("R"), 2, unit)},
+      {"AtLeastTotal", AtLeastTotal(Input("R"), 2, unit)},
+      {"InDegreeGreaterThanOut", InDegreeGreaterThanOut(Input("G"), node)},
+      {"EvenCardinalityWithOrder",
+       EvenCardinalityWithOrder(Input("R"), Input("Leq"), unit)},
+      {"UplusViaMaxUnion",
+       UplusViaMaxUnion(Input("G"), Input("G"), 2, MakeAtom("ta"),
+                        MakeAtom("tb"))},
+      {"MonusViaPowerset", MonusViaPowerset(Input("R"), Input("S"))},
+      {"EpsViaPowerset", EpsViaPowerset(Input("R"))},
+      {"EpsViaPowersetNested", EpsViaPowersetNested(Input("NB"))},
+      {"TransitiveClosure", TransitiveClosure(Input("G"))},
+      {"TransitiveClosureBounded", TransitiveClosureBounded(Input("G"))},
+  };
+  for (const Case& c : cases) {
+    auto plan = ExplainExpr(c.expr, s);
+    EXPECT_TRUE(plan.ok()) << c.name << ": " << plan.status();
+    if (plan.ok()) {
+      EXPECT_FALSE(plan->empty()) << c.name;
+      EXPECT_NE(plan->find(" : "), std::string::npos) << c.name << *plan;
+    }
+  }
+
+  // The powerset-based interdefinability constructions are exactly the ones
+  // the renderer flags.
+  auto monus_plan = ExplainExpr(MonusViaPowerset(Input("R"), Input("S")), s);
+  ASSERT_TRUE(monus_plan.ok());
+  EXPECT_NE(monus_plan->find("[powerset]"), std::string::npos) << *monus_plan;
+  auto eps_plan = ExplainExpr(EpsViaPowerset(Input("R")), s);
+  ASSERT_TRUE(eps_plan.ok());
+  EXPECT_NE(eps_plan->find("[powerset]"), std::string::npos) << *eps_plan;
+
+  // DecodeIntBag is the value-level inverse of IntAsBag.
+  auto decoded = DecodeIntBag(IntAsBag(5, unit));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, 5u);
+}
+
 TEST(ExplainTest, ErrorsOnIllTypedExpressions) {
   Schema s = TestSchema();
   EXPECT_FALSE(ExplainExpr(Destroy(Input("G")), s).ok());
