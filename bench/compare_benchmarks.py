@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare freshly produced BENCH_*.json files against committed baselines.
+
+Usage:
+    bench/compare_benchmarks.py [--baseline DIR] [--candidate DIR]
+                                [--threshold FRACTION]
+
+Matches benchmarks by (file, benchmark name) between the baseline directory
+(default: bench/results) and the candidate directory, reports the
+per-benchmark real-time delta, and exits nonzero when any benchmark
+regressed by more than the threshold (default: 0.10, i.e. 10% slower).
+
+Typical use, via the harness:
+    bench/run_benchmarks.sh --compare            # run fresh, diff vs repo
+or standalone against two directories of results:
+    bench/compare_benchmarks.py --candidate /tmp/fresh-results
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Durations are normalized to nanoseconds before comparison.
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_results(path):
+    """Returns {benchmark name: real_time_ns} for one BENCH_*.json file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) when repetitions are on.
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        name = b.get("name")
+        real = b.get("real_time")
+        unit = b.get("time_unit", "ns")
+        if name is None or real is None or unit not in _TIME_UNIT_NS:
+            continue
+        out[name] = real * _TIME_UNIT_NS[unit]
+    return out
+
+
+def format_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff benchmark results against committed baselines.")
+    parser.add_argument("--baseline", default="bench/results",
+                        help="directory of baseline BENCH_*.json files")
+    parser.add_argument("--candidate", required=True,
+                        help="directory of freshly produced BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fail when any benchmark is this fraction slower "
+                             "(default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    baseline_files = {
+        f for f in os.listdir(args.baseline)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    }
+    candidate_files = {
+        f for f in os.listdir(args.candidate)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    }
+
+    rows = []  # (file, name, base_ns, cand_ns, delta)
+    missing = []
+    for fname in sorted(baseline_files):
+        if fname not in candidate_files:
+            missing.append(f"{fname}: not produced by candidate run")
+            continue
+        base = load_results(os.path.join(args.baseline, fname))
+        cand = load_results(os.path.join(args.candidate, fname))
+        for name in sorted(base):
+            if name not in cand:
+                missing.append(f"{fname}: {name} missing from candidate")
+                continue
+            base_ns, cand_ns = base[name], cand[name]
+            delta = (cand_ns - base_ns) / base_ns if base_ns > 0 else 0.0
+            rows.append((fname, name, base_ns, cand_ns, delta))
+        for name in sorted(set(cand) - set(base)):
+            print(f"NEW       {fname:40s} {name} "
+                  f"({format_ns(cand[name])}, no baseline)")
+    for fname in sorted(candidate_files - baseline_files):
+        print(f"NEW FILE  {fname} (no baseline)")
+
+    if not rows and not missing:
+        print("no comparable benchmarks found", file=sys.stderr)
+        return 2
+
+    regressions = []
+    print(f"\n{'benchmark':58s} {'baseline':>10s} {'candidate':>10s} "
+          f"{'delta':>8s}")
+    for fname, name, base_ns, cand_ns, delta in sorted(
+            rows, key=lambda r: -r[4]):
+        tag = ""
+        if delta > args.threshold:
+            tag = "  REGRESSION"
+            regressions.append((fname, name, delta))
+        label = f"{fname.removeprefix('BENCH_bench_').removesuffix('.json')}" \
+                f"/{name}"
+        print(f"{label[:58]:58s} {format_ns(base_ns):>10s} "
+              f"{format_ns(cand_ns):>10s} {delta:>+7.1%}{tag}")
+
+    improved = sum(1 for r in rows if r[4] < -args.threshold)
+    print(f"\n{len(rows)} benchmarks compared: {len(regressions)} regressed "
+          f"beyond {args.threshold:.0%}, {improved} improved beyond "
+          f"{args.threshold:.0%}.")
+    for note in missing:
+        print(f"WARNING: {note}", file=sys.stderr)
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s) above "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for fname, name, delta in regressions:
+            print(f"  {fname}: {name} {delta:+.1%}", file=sys.stderr)
+        return 1
+    print("PASS: no regressions above threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

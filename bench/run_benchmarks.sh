@@ -3,17 +3,31 @@
 # machine-readable output as BENCH_<name>.json, one file per bench, so the
 # perf trajectory accumulates run over run.
 #
-#   bench/run_benchmarks.sh [BUILD_DIR] [OUT_DIR]
+#   bench/run_benchmarks.sh [--compare] [BUILD_DIR] [OUT_DIR]
 #
 # Defaults: BUILD_DIR=build, OUT_DIR=bench/results. Honors
 # BENCHMARK_MIN_TIME (default 0.05s per benchmark) to trade precision for
 # wall time. Several benches print human-readable preambles before the JSON
 # document; the preamble goes to stderr (or is stripped here for the ones
 # that still use stdout), so every BENCH_*.json is a valid JSON document.
+#
+# With --compare, results go to a temporary directory (unless OUT_DIR is
+# given) and are diffed against the committed bench/results baselines with
+# bench/compare_benchmarks.py; the script fails on any >10% regression.
 set -euo pipefail
 
+COMPARE=0
+if [ "${1:-}" = "--compare" ]; then
+  COMPARE=1
+  shift
+fi
+
 BUILD_DIR="${1:-build}"
-OUT_DIR="${2:-bench/results}"
+if [ "${COMPARE}" = 1 ]; then
+  OUT_DIR="${2:-$(mktemp -d)}"
+else
+  OUT_DIR="${2:-bench/results}"
+fi
 MIN_TIME="${BENCHMARK_MIN_TIME:-0.05}"
 
 if ! ls "${BUILD_DIR}"/bench/bench_* >/dev/null 2>&1; then
@@ -49,4 +63,9 @@ for bin in "${BUILD_DIR}"/bench/bench_*; do
   fi
   rm -f "${raw}"
 done
+
+if [ "${COMPARE}" = 1 ]; then
+  python3 "$(dirname "$0")/compare_benchmarks.py" \
+    --baseline "$(dirname "$0")/results" --candidate "${OUT_DIR}" || status=1
+fi
 exit "${status}"

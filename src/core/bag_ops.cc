@@ -2,22 +2,81 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <iterator>
 #include <map>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/parallel.h"
 
 namespace bagalg {
 
 namespace {
 
+// Task granularity for the parallel kernels. Product pairs and subbag
+// materializations are much heavier than sort comparisons, so the kernels
+// use finer grains than the pool's default sorting grain.
+constexpr size_t kPairGrain = 1024;
+constexpr size_t kSubbagGrain = 256;
+
+// Binomial rows C(m, 0..m) are precomputed per entry for the powerbag; rows
+// for larger m fall back to on-the-fly computation to bound table memory
+// (a row for m holds m+1 values of up to ~m bits each).
+constexpr uint64_t kBinomialRowMaxM = 4096;
+
+/// RAII per-kernel scope: opens a tracer span when the global tracer is
+/// enabled, and on exit mirrors the cumulative pool / BigNat counters into
+/// the MetricsRegistry so `\metrics` and the bench exports see them.
+class KernelScope {
+ public:
+  explicit KernelScope(const char* name) {
+    if (obs::Tracer* tracer = obs::GlobalTracerIfEnabled()) {
+      span_ = tracer->StartSpan(name, "kernel");
+    }
+  }
+
+  obs::Span& span() { return span_; }
+
+  ~KernelScope() {
+    static obs::Gauge* const tasks =
+        obs::GlobalMetrics().GetGauge("kernel.pool_tasks_spawned");
+    static obs::Gauge* const parallel =
+        obs::GlobalMetrics().GetGauge("kernel.pool_parallel_dispatches");
+    static obs::Gauge* const serial =
+        obs::GlobalMetrics().GetGauge("kernel.pool_serial_dispatches");
+    static obs::Gauge* const slow =
+        obs::GlobalMetrics().GetGauge("kernel.bignat_slow_path_ops");
+    const ParallelStats stats = ThreadPool::Stats();
+    tasks->Set(static_cast<int64_t>(stats.tasks_spawned));
+    parallel->Set(static_cast<int64_t>(stats.parallel_dispatches));
+    serial->Set(static_cast<int64_t>(stats.serial_dispatches));
+    slow->Set(static_cast<int64_t>(BigNat::SlowPathOps()));
+  }
+
+ private:
+  obs::Span span_;
+};
+
+obs::Counter* MergeIndexedCounter() {
+  static obs::Counter* const c =
+      obs::GlobalMetrics().GetCounter("kernel.merges_indexed");
+  return c;
+}
+
 /// Merge-walks two canonical entry lists, combining multiplicities with
 /// `combine` (absent elements contribute multiplicity 0) and keeping only
-/// positive results.
+/// positive results. The walk visits both lists in value order, so the
+/// output is canonical by construction and skips Builder's sort entirely.
 Result<Bag> MergeCombine(const Bag& a, const Bag& b,
                          Mult (*combine)(const Mult&, const Mult&)) {
   BAGALG_ASSIGN_OR_RETURN(Type elem,
                           Type::Join(a.element_type(), b.element_type()));
-  Bag::Builder builder(elem);
   const auto& ea = a.entries();
   const auto& eb = b.entries();
+  std::vector<BagEntry> out;
+  out.reserve(ea.size() + eb.size());
   const Mult zero;
   size_t i = 0, j = 0;
   while (i < ea.size() || j < eb.size()) {
@@ -30,18 +89,21 @@ Result<Bag> MergeCombine(const Bag& a, const Bag& b,
       c = ea[i].value.Compare(eb[j].value);
     }
     if (c < 0) {
-      builder.Add(ea[i].value, combine(ea[i].count, zero));
+      Mult m = combine(ea[i].count, zero);
+      if (!m.IsZero()) out.push_back({ea[i].value, std::move(m)});
       ++i;
     } else if (c > 0) {
-      builder.Add(eb[j].value, combine(zero, eb[j].count));
+      Mult m = combine(zero, eb[j].count);
+      if (!m.IsZero()) out.push_back({eb[j].value, std::move(m)});
       ++j;
     } else {
-      builder.Add(ea[i].value, combine(ea[i].count, eb[j].count));
+      Mult m = combine(ea[i].count, eb[j].count);
+      if (!m.IsZero()) out.push_back({ea[i].value, std::move(m)});
       ++i;
       ++j;
     }
   }
-  return std::move(builder).Build();
+  return Bag::FromCanonicalEntries(std::move(elem), std::move(out));
 }
 
 Mult CombineAdd(const Mult& p, const Mult& q) { return p + q; }
@@ -49,20 +111,29 @@ Mult CombineMonus(const Mult& p, const Mult& q) { return p.MonusSub(q); }
 Mult CombineMax(const Mult& p, const Mult& q) { return Mult::Max(p, q); }
 Mult CombineMin(const Mult& p, const Mult& q) { return Mult::Min(p, q); }
 
-/// Binomial coefficient C(n, k) with BigNat n and machine k.
-/// Used by the powerbag's occurrence counting.
-Mult Binomial(const Mult& n, uint64_t k) {
-  // C(n, k) = Π_{i=1..k} (n - k + i) / i, computed with exact division by
-  // keeping the running product divisible at every step.
-  Mult num(1);
-  Mult base = n.MonusSub(Mult(k));
-  for (uint64_t i = 1; i <= k; ++i) {
-    num = num * (base + Mult(i));
-    auto dm = num.DivMod(Mult(i));
-    assert(dm.ok() && dm->remainder.IsZero());
-    num = std::move(dm->quotient);
+/// True when iterating `small` and probing `large`'s hash index beats the
+/// O(|small| + |large|) merge walk: the large side is big enough to carry
+/// an index and the small side is a fraction of it.
+bool ProbeBeatsMerge(const Bag& small, const Bag& large) {
+  return large.DistinctCount() >= Bag::kIndexThreshold &&
+         small.DistinctCount() * 4 <= large.DistinctCount();
+}
+
+/// A union-shaped merge (⊎ or ∪) with an empty operand returns the other
+/// operand's entries unchanged; when the joined element type also matches,
+/// the whole rep is shared. Returns true and sets *result if the identity
+/// applied (callers fall through to the merge walk otherwise).
+bool UnionEmptyIdentity(const Bag& a, const Bag& b, const Type& elem,
+                        Result<Bag>* result) {
+  if (!a.empty() && !b.empty()) return false;
+  const Bag& keep = a.empty() ? b : a;
+  if (elem == keep.element_type()) {
+    *result = keep;
+  } else {
+    std::vector<BagEntry> out = keep.entries();
+    *result = Bag::FromCanonicalEntries(elem, std::move(out));
   }
-  return num;
+  return true;
 }
 
 }  // namespace
@@ -88,23 +159,76 @@ Status CheckMultLimit(const Mult& m, const Limits& limits) {
 }
 
 Result<Bag> AdditiveUnion(const Bag& a, const Bag& b) {
+  KernelScope scope("kernel.additive_union");
+  BAGALG_ASSIGN_OR_RETURN(Type elem,
+                          Type::Join(a.element_type(), b.element_type()));
+  Result<Bag> identity = Bag();
+  if (UnionEmptyIdentity(a, b, elem, &identity)) return identity;
   return MergeCombine(a, b, &CombineAdd);
 }
 
 Result<Bag> Subtract(const Bag& a, const Bag& b) {
+  KernelScope scope("kernel.subtract");
+  BAGALG_ASSIGN_OR_RETURN(Type elem,
+                          Type::Join(a.element_type(), b.element_type()));
+  if (a.empty()) return Bag(std::move(elem));
+  if (b.empty()) {
+    if (elem == a.element_type()) return a;
+    std::vector<BagEntry> out = a.entries();
+    return Bag::FromCanonicalEntries(std::move(elem), std::move(out));
+  }
+  if (ProbeBeatsMerge(a, b)) {
+    // a is a fraction of b: walk a, probe b's hash index, skip the merge
+    // walk over b entirely. The output follows a's order, so it stays
+    // canonical.
+    MergeIndexedCounter()->Increment();
+    std::vector<BagEntry> out;
+    out.reserve(a.DistinctCount());
+    for (const BagEntry& e : a.entries()) {
+      Mult m = e.count.MonusSub(b.CountOf(e.value));
+      if (!m.IsZero()) out.push_back({e.value, std::move(m)});
+    }
+    return Bag::FromCanonicalEntries(std::move(elem), std::move(out));
+  }
   return MergeCombine(a, b, &CombineMonus);
 }
 
 Result<Bag> MaxUnion(const Bag& a, const Bag& b) {
+  KernelScope scope("kernel.max_union");
+  BAGALG_ASSIGN_OR_RETURN(Type elem,
+                          Type::Join(a.element_type(), b.element_type()));
+  Result<Bag> identity = Bag();
+  if (UnionEmptyIdentity(a, b, elem, &identity)) return identity;
   return MergeCombine(a, b, &CombineMax);
 }
 
 Result<Bag> Intersect(const Bag& a, const Bag& b) {
+  KernelScope scope("kernel.intersect");
+  BAGALG_ASSIGN_OR_RETURN(Type elem,
+                          Type::Join(a.element_type(), b.element_type()));
+  if (a.empty() || b.empty()) return Bag(std::move(elem));
+  const Bag& small = a.DistinctCount() <= b.DistinctCount() ? a : b;
+  const Bag& large = &small == &a ? b : a;
+  if (ProbeBeatsMerge(small, large)) {
+    // The intersection is a subbag of the small side: walk it and probe the
+    // large side's hash index instead of merge-walking both.
+    MergeIndexedCounter()->Increment();
+    std::vector<BagEntry> out;
+    out.reserve(small.DistinctCount());
+    for (const BagEntry& e : small.entries()) {
+      Mult other = large.CountOf(e.value);
+      if (!other.IsZero()) {
+        out.push_back({e.value, Mult::Min(e.count, other)});
+      }
+    }
+    return Bag::FromCanonicalEntries(std::move(elem), std::move(out));
+  }
   return MergeCombine(a, b, &CombineMin);
 }
 
 Result<Bag> CartesianProduct(const Bag& a, const Bag& b,
                              const Limits& limits) {
+  KernelScope scope("kernel.product");
   for (const Bag* operand : {&a, &b}) {
     if (!operand->empty() && !operand->element_type().IsTuple()) {
       return Status::InvalidArgument(
@@ -112,21 +236,16 @@ Result<Bag> CartesianProduct(const Bag& a, const Bag& b,
           operand->element_type().ToString());
     }
   }
-  BAGALG_RETURN_IF_ERROR(CheckDistinctLimit(
-      static_cast<uint64_t>(a.DistinctCount()) * b.DistinctCount(), limits));
-  Bag::Builder builder;
-  for (const BagEntry& ea : a.entries()) {
-    for (const BagEntry& eb : b.entries()) {
-      std::vector<Value> fields = ea.value.fields();
-      const auto& bf = eb.value.fields();
-      fields.insert(fields.end(), bf.begin(), bf.end());
-      Mult count = ea.count * eb.count;
-      BAGALG_RETURN_IF_ERROR(CheckMultLimit(count, limits));
-      builder.Add(Value::Tuple(std::move(fields)), std::move(count));
-    }
+  uint64_t pairs = 0;
+  if (__builtin_mul_overflow(static_cast<uint64_t>(a.DistinctCount()),
+                             static_cast<uint64_t>(b.DistinctCount()),
+                             &pairs)) {
+    return Status::ResourceExhausted(
+        "Cartesian product distinct-element count overflows uint64");
   }
-  // Preserve a typed-empty result where possible.
+  BAGALG_RETURN_IF_ERROR(CheckDistinctLimit(pairs, limits));
   if (a.empty() || b.empty()) {
+    // Preserve a typed-empty result where possible.
     Type elem = Type::Bottom();
     if (a.element_type().IsTuple() && b.element_type().IsTuple()) {
       std::vector<Type> fields = a.element_type().fields();
@@ -136,18 +255,78 @@ Result<Bag> CartesianProduct(const Bag& a, const Bag& b,
     }
     return Bag(std::move(elem));
   }
-  return std::move(builder).Build();
+  // Every element of a (resp. b) is a tuple of a.element_type()'s (resp.
+  // b's) arity, so the result type is the concatenation of the two field
+  // lists — no per-pair type joins needed.
+  std::vector<Type> field_types = a.element_type().fields();
+  {
+    const auto& bf = b.element_type().fields();
+    field_types.insert(field_types.end(), bf.begin(), bf.end());
+  }
+  Type elem = Type::Tuple(std::move(field_types));
+
+  // The double loop over two canonical (strictly value-sorted) operands
+  // emits pairs in block-lexicographic order, which for fixed-arity tuples
+  // *is* the canonical value order — so the concatenated chunk outputs are
+  // already sorted and distinct and the sort/merge of Builder is skipped.
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  const size_t nb = eb.size();
+  struct ChunkOut {
+    std::vector<BagEntry> entries;
+    Status status;
+  };
+  const size_t outer_grain = std::max<size_t>(1, kPairGrain / nb);
+  ChunkOut combined = ParallelTransformReduce(
+      ea.size(), outer_grain, ChunkOut{},
+      [&](size_t begin, size_t end, size_t) {
+        ChunkOut out;
+        out.entries.reserve((end - begin) * nb);
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t j = 0; j < nb; ++j) {
+            std::vector<Value> fields = ea[i].value.fields();
+            const auto& bf = eb[j].value.fields();
+            fields.insert(fields.end(), bf.begin(), bf.end());
+            Mult count = ea[i].count * eb[j].count;
+            out.status = CheckMultLimit(count, limits);
+            if (!out.status.ok()) return out;
+            out.entries.push_back(
+                {Value::Tuple(std::move(fields)), std::move(count)});
+          }
+        }
+        return out;
+      },
+      [](ChunkOut acc, ChunkOut next) {
+        if (!acc.status.ok()) return acc;
+        if (!next.status.ok()) {
+          next.entries.clear();
+          return next;
+        }
+        if (acc.entries.empty()) return next;
+        acc.entries.insert(acc.entries.end(),
+                           std::make_move_iterator(next.entries.begin()),
+                           std::make_move_iterator(next.entries.end()));
+        return acc;
+      });
+  BAGALG_RETURN_IF_ERROR(combined.status);
+  scope.span().AddAttr("pairs", pairs);
+  return Bag::FromCanonicalEntries(std::move(elem),
+                                   std::move(combined.entries));
 }
 
 namespace {
 
-/// Shared subbag enumerator for powerset / powerbag. Enumerates every
-/// distinct subbag of `bag`; for each, `emit(sub_entries)` is called with
-/// the chosen per-entry multiplicities (parallel to bag.entries(); zero
-/// entries allowed in the vector, they are skipped when materializing).
-Status ForEachSubbag(
-    const Bag& bag, const Limits& limits,
-    const std::function<Status(const std::vector<uint64_t>&)>& emit) {
+/// Precomputed shape of a powerset / powerbag enumeration: the per-entry
+/// maxima m_i and the number of distinct subbags Π (m_i + 1) when it fits
+/// a uint64 (it always does under the default results cap; `enumerable`
+/// is false only for uncapped runs beyond machine range).
+struct SubbagEnum {
+  std::vector<uint64_t> maxima;
+  bool enumerable = true;
+  uint64_t total = 0;
+};
+
+Result<SubbagEnum> PrepareSubbagEnum(const Bag& bag, const Limits& limits) {
   const auto& entries = bag.entries();
   // Pre-check the number of distinct subbags: Π (m_i + 1).
   if (limits.max_powerset_results != 0) {
@@ -163,20 +342,64 @@ Status ForEachSubbag(
       }
     }
   }
-  // All m_i now fit comfortably in uint64 (each m_i + 1 ≤ cap).
-  std::vector<uint64_t> maxima(entries.size());
+  SubbagEnum en;
+  en.maxima.resize(entries.size());
   for (size_t i = 0; i < entries.size(); ++i) {
     auto m = entries[i].count.ToUint64();
     if (!m.ok()) {
       return Status::ResourceExhausted(
           "powerset operand multiplicity exceeds enumerable range");
     }
-    maxima[i] = *m;
+    en.maxima[i] = *m;
   }
-  std::vector<uint64_t> chosen(entries.size(), 0);
+  en.total = 1;
+  for (uint64_t m : en.maxima) {
+    uint64_t radix = 0;
+    if (__builtin_add_overflow(m, uint64_t{1}, &radix) ||
+        __builtin_mul_overflow(en.total, radix, &en.total)) {
+      en.enumerable = false;
+      break;
+    }
+  }
+  return en;
+}
+
+/// Enumerates the subbag indices [begin, end) of the mixed-radix odometer
+/// (digit i runs 0..m_i, digit 0 least significant), calling
+/// emit(chosen) for each. Decoding `begin` directly is what lets the
+/// kernels stride-partition the index space across pool tasks. `emit` is a
+/// template parameter so per-subbag dispatch inlines (no std::function).
+template <typename Emit>
+Status ForEachSubbagRange(const std::vector<uint64_t>& maxima, uint64_t begin,
+                          uint64_t end, Emit&& emit) {
+  if (begin >= end) return Status::Ok();
+  std::vector<uint64_t> chosen(maxima.size(), 0);
+  uint64_t rem = begin;
+  for (size_t i = 0; i < maxima.size() && rem != 0; ++i) {
+    const uint64_t radix = maxima[i] + 1;
+    chosen[i] = rem % radix;
+    rem /= radix;
+  }
+  for (uint64_t idx = begin;;) {
+    BAGALG_RETURN_IF_ERROR(emit(chosen));
+    if (++idx == end) return Status::Ok();
+    // Odometer increment; idx < total guarantees a non-maxed digit exists.
+    size_t pos = 0;
+    while (chosen[pos] == maxima[pos]) {
+      chosen[pos] = 0;
+      ++pos;
+    }
+    ++chosen[pos];
+  }
+}
+
+/// Unbounded odometer walk for enumerations whose total exceeds uint64
+/// (only reachable with the results cap disabled).
+template <typename Emit>
+Status ForEachSubbagAll(const std::vector<uint64_t>& maxima, Emit&& emit) {
+  std::vector<uint64_t> chosen(maxima.size(), 0);
   while (true) {
     BAGALG_RETURN_IF_ERROR(emit(chosen));
-    // Odometer increment.
     size_t pos = 0;
     while (pos < chosen.size() && chosen[pos] == maxima[pos]) {
       chosen[pos] = 0;
@@ -187,54 +410,149 @@ Status ForEachSubbag(
   }
 }
 
-/// Materializes a subbag from per-entry chosen multiplicities.
-Result<Value> MaterializeSubbag(const Bag& bag,
-                                const std::vector<uint64_t>& chosen) {
-  Bag::Builder builder(bag.element_type());
+/// Materializes a subbag from per-entry chosen multiplicities. The kept
+/// entries are a subsequence of the parent's canonical entries, so the
+/// result is canonical by construction — no Builder needed.
+Value MaterializeSubbag(const Bag& bag, const std::vector<uint64_t>& chosen) {
   const auto& entries = bag.entries();
+  size_t kept = 0;
+  for (uint64_t c : chosen) kept += c != 0 ? 1 : 0;
+  std::vector<BagEntry> sub;
+  sub.reserve(kept);
   for (size_t i = 0; i < entries.size(); ++i) {
-    if (chosen[i] != 0) builder.Add(entries[i].value, Mult(chosen[i]));
+    if (chosen[i] != 0) sub.push_back({entries[i].value, Mult(chosen[i])});
   }
-  BAGALG_ASSIGN_OR_RETURN(Bag sub, std::move(builder).Build());
-  return Value::FromBag(std::move(sub));
+  return Value::FromBag(
+      Bag::FromCanonicalEntries(bag.element_type(), std::move(sub)));
+}
+
+/// Shared powerset / powerbag driver: enumerates every subbag, computes its
+/// result multiplicity with make_count(chosen, &mult), and adds it to
+/// `builder`. Enumerable index spaces are stride-partitioned across the
+/// pool; per-chunk outputs are appended in chunk index order, so the
+/// builder sees the exact serial emission order regardless of scheduling
+/// (and Build canonicalizes anyway). The first error in odometer order wins,
+/// matching serial semantics.
+template <typename MakeCount>
+Status EnumerateSubbagsInto(const Bag& bag, const SubbagEnum& en,
+                            Bag::Builder& builder, MakeCount&& make_count) {
+  auto serial_emit = [&](const std::vector<uint64_t>& chosen) -> Status {
+    Mult count;
+    BAGALG_RETURN_IF_ERROR(make_count(chosen, &count));
+    builder.Add(MaterializeSubbag(bag, chosen), std::move(count));
+    return Status::Ok();
+  };
+  if (!en.enumerable) return ForEachSubbagAll(en.maxima, serial_emit);
+  builder.Reserve(en.total);
+  const size_t chunks = ParallelChunkCount(en.total, kSubbagGrain);
+  if (chunks <= 1) {
+    return ForEachSubbagRange(en.maxima, 0, en.total, serial_emit);
+  }
+  struct ChunkOut {
+    std::vector<BagEntry> entries;
+    Status status;
+  };
+  std::vector<ChunkOut> outs(chunks);
+  const uint64_t per = (en.total + chunks - 1) / chunks;
+  ThreadPool::Global().Run(chunks, [&](size_t c) {
+    const uint64_t lo = c * per;
+    const uint64_t hi = std::min<uint64_t>(lo + per, en.total);
+    if (lo >= hi) return;
+    outs[c].entries.reserve(hi - lo);
+    outs[c].status = ForEachSubbagRange(
+        en.maxima, lo, hi, [&](const std::vector<uint64_t>& chosen) -> Status {
+          Mult count;
+          BAGALG_RETURN_IF_ERROR(make_count(chosen, &count));
+          outs[c].entries.push_back(
+              {MaterializeSubbag(bag, chosen), std::move(count)});
+          return Status::Ok();
+        });
+  });
+  for (ChunkOut& chunk : outs) {
+    BAGALG_RETURN_IF_ERROR(chunk.status);
+    for (BagEntry& e : chunk.entries) {
+      builder.Add(std::move(e.value), std::move(e.count));
+    }
+  }
+  return Status::Ok();
+}
+
+/// Binomial coefficient C(n, k) with BigNat n and machine k.
+/// Fallback for powerbag entries whose multiplicity exceeds the
+/// precomputed-row bound.
+Mult Binomial(const Mult& n, uint64_t k) {
+  // C(n, k) = Π_{i=1..k} (n - k + i) / i, computed with exact division by
+  // keeping the running product divisible at every step.
+  Mult num(1);
+  Mult base = n.MonusSub(Mult(k));
+  for (uint64_t i = 1; i <= k; ++i) {
+    num = num * (base + Mult(i));
+    auto dm = num.DivMod(Mult(i));
+    assert(dm.ok() && dm->remainder.IsZero());
+    num = std::move(dm->quotient);
+  }
+  return num;
 }
 
 }  // namespace
 
 Result<Bag> Powerset(const Bag& bag, const Limits& limits) {
+  KernelScope scope("kernel.powerset");
+  BAGALG_ASSIGN_OR_RETURN(SubbagEnum en, PrepareSubbagEnum(bag, limits));
+  if (en.enumerable) scope.span().AddAttr("subbags", en.total);
   Bag::Builder builder(bag.type());
-  Status st = ForEachSubbag(
-      bag, limits, [&](const std::vector<uint64_t>& chosen) -> Status {
-        auto sub = MaterializeSubbag(bag, chosen);
-        if (!sub.ok()) return sub.status();
-        builder.Add(std::move(sub).value(), Mult(1));
+  BAGALG_RETURN_IF_ERROR(EnumerateSubbagsInto(
+      bag, en, builder, [](const std::vector<uint64_t>&, Mult* count) {
+        *count = Mult(1);
         return Status::Ok();
-      });
-  BAGALG_RETURN_IF_ERROR(st);
+      }));
   return std::move(builder).Build();
 }
 
 Result<Bag> Powerbag(const Bag& bag, const Limits& limits) {
+  KernelScope scope("kernel.powerbag");
+  BAGALG_ASSIGN_OR_RETURN(SubbagEnum en, PrepareSubbagEnum(bag, limits));
+  if (en.enumerable) scope.span().AddAttr("subbags", en.total);
   const auto& entries = bag.entries();
+  // Per-entry binomial rows C(m_i, 0..m_i) via the incremental recurrence
+  // C(m, k) = C(m, k-1) · (m - k + 1) / k — O(m_i) big-number operations
+  // per entry instead of O(k) per *subbag*. Rows beyond the size bound stay
+  // empty and fall back to on-the-fly Binomial.
+  std::vector<std::vector<Mult>> rows(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const uint64_t m = en.maxima[i];
+    if (m > kBinomialRowMaxM) continue;
+    auto& row = rows[i];
+    row.reserve(m + 1);
+    row.push_back(Mult(1));
+    for (uint64_t k = 1; k <= m; ++k) {
+      auto dm = (row.back() * Mult(m - k + 1)).DivMod(Mult(k));
+      assert(dm.ok() && dm->remainder.IsZero());
+      row.push_back(std::move(dm->quotient));
+    }
+  }
   Bag::Builder builder(bag.type());
-  Status st = ForEachSubbag(
-      bag, limits, [&](const std::vector<uint64_t>& chosen) -> Status {
-        Mult occurrences(1);
-        for (size_t i = 0; i < entries.size(); ++i) {
-          occurrences = occurrences * Binomial(entries[i].count, chosen[i]);
+  BAGALG_RETURN_IF_ERROR(EnumerateSubbagsInto(
+      bag, en,
+      builder, [&](const std::vector<uint64_t>& chosen, Mult* count) -> Status {
+        Mult occ(1);
+        for (size_t i = 0; i < chosen.size(); ++i) {
+          const uint64_t k = chosen[i];
+          if (k == 0) continue;
+          Mult f = !rows[i].empty() ? rows[i][k]
+                                    : Binomial(entries[i].count, k);
+          if (f.IsOne()) continue;  // covers C(m, m) = 1 too
+          occ = occ.IsOne() ? std::move(f) : occ * f;
         }
-        Status mult_ok = CheckMultLimit(occurrences, limits);
-        if (!mult_ok.ok()) return mult_ok;
-        auto sub = MaterializeSubbag(bag, chosen);
-        if (!sub.ok()) return sub.status();
-        builder.Add(std::move(sub).value(), std::move(occurrences));
+        BAGALG_RETURN_IF_ERROR(CheckMultLimit(occ, limits));
+        *count = std::move(occ);
         return Status::Ok();
-      });
-  BAGALG_RETURN_IF_ERROR(st);
+      }));
   return std::move(builder).Build();
 }
 
 Result<Bag> BagDestroy(const Bag& bag, const Limits& limits) {
+  KernelScope scope("kernel.bag_destroy");
   if (!bag.empty() && !bag.element_type().IsBag()) {
     return Status::InvalidArgument(
         "bag-destroy requires a bag of bags, got element type " +
@@ -246,8 +564,13 @@ Result<Bag> BagDestroy(const Bag& bag, const Limits& limits) {
   Bag::Builder builder(inner_elem);
   uint64_t distinct_bound = 0;
   for (const BagEntry& e : bag.entries()) {
-    distinct_bound += e.value.bag().DistinctCount();
+    if (__builtin_add_overflow(distinct_bound, e.value.bag().DistinctCount(),
+                               &distinct_bound)) {
+      return Status::ResourceExhausted(
+          "bag-destroy distinct-element bound overflows uint64");
+    }
     BAGALG_RETURN_IF_ERROR(CheckDistinctLimit(distinct_bound, limits));
+    builder.Reserve(e.value.bag().DistinctCount());
     for (const BagEntry& inner : e.value.bag().entries()) {
       Mult count = inner.count * e.count;
       BAGALG_RETURN_IF_ERROR(CheckMultLimit(count, limits));
@@ -258,17 +581,21 @@ Result<Bag> BagDestroy(const Bag& bag, const Limits& limits) {
 }
 
 Result<Bag> DupElim(const Bag& bag) {
-  Bag::Builder builder(bag.element_type());
+  // The distinct values with multiplicity 1 each: the entry list already is
+  // the answer, in canonical order.
+  std::vector<BagEntry> out;
+  out.reserve(bag.DistinctCount());
   for (const BagEntry& e : bag.entries()) {
-    builder.Add(e.value, Mult(1));
+    out.push_back({e.value, Mult(1)});
   }
-  return std::move(builder).Build();
+  return Bag::FromCanonicalEntries(bag.element_type(), std::move(out));
 }
 
 Result<Bag> MapBag(const Bag& bag,
                    const std::function<Result<Value>(const Value&)>& fn,
                    const Type& declared_result_elem) {
   Bag::Builder builder(declared_result_elem);
+  builder.Reserve(bag.DistinctCount());
   for (const BagEntry& e : bag.entries()) {
     BAGALG_ASSIGN_OR_RETURN(Value image, fn(e.value));
     builder.Add(std::move(image), e.count);
@@ -278,12 +605,14 @@ Result<Bag> MapBag(const Bag& bag,
 
 Result<Bag> SelectBag(const Bag& bag,
                       const std::function<Result<bool>(const Value&)>& pred) {
-  Bag::Builder builder(bag.element_type());
+  // A subsequence of canonical entries is canonical; the declared element
+  // type is unchanged by selection.
+  std::vector<BagEntry> out;
   for (const BagEntry& e : bag.entries()) {
     BAGALG_ASSIGN_OR_RETURN(bool keep, pred(e.value));
-    if (keep) builder.Add(e.value, e.count);
+    if (keep) out.push_back({e.value, e.count});
   }
-  return std::move(builder).Build();
+  return Bag::FromCanonicalEntries(bag.element_type(), std::move(out));
 }
 
 Result<Bag> Nest(const Bag& bag, const std::vector<size_t>& nested_attrs) {
@@ -336,8 +665,13 @@ Result<Bag> Unnest(const Bag& bag, size_t attr, const Limits& limits) {
       return Status::InvalidArgument("unnest attribute is not a bag");
     }
     const Bag& inner = fields[attr].bag();
-    distinct_bound += inner.DistinctCount();
+    if (__builtin_add_overflow(distinct_bound, inner.DistinctCount(),
+                               &distinct_bound)) {
+      return Status::ResourceExhausted(
+          "unnest distinct-element bound overflows uint64");
+    }
     BAGALG_RETURN_IF_ERROR(CheckDistinctLimit(distinct_bound, limits));
+    out.Reserve(inner.DistinctCount());
     for (const BagEntry& ie : inner.entries()) {
       std::vector<Value> new_fields;
       new_fields.reserve(fields.size());

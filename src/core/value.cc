@@ -1,7 +1,13 @@
 #include "src/core/value.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <iterator>
+#include <mutex>
+
+#include "src/obs/metrics.h"
+#include "src/util/parallel.h"
 
 namespace bagalg {
 
@@ -38,6 +44,12 @@ struct Bag::Rep {
   std::vector<BagEntry> entries;
   Mult total;
   size_t hash = 0;
+  // Lazy open-addressing hash index over `entries` (slot holds entry index
+  // + 1; 0 means empty). Built at most once, under `index_once`, when a
+  // membership probe hits a bag with >= Bag::kIndexThreshold distinct
+  // elements. Mutable because the index is a cache on an immutable Rep.
+  mutable std::once_flag index_once;
+  mutable std::vector<uint32_t> index;
 };
 
 namespace {
@@ -49,6 +61,114 @@ const std::shared_ptr<const Bag::Rep>& EmptyBagRep() {
     return std::shared_ptr<const Bag::Rep>(std::move(r));
   }();
   return rep;
+}
+
+// ------------------------------------------------------ lazy hash index
+
+/// True when `rep` is large enough for the hash index to pay for itself
+/// and small enough for uint32 slots.
+bool IndexEligible(const Bag::Rep& rep) {
+  return rep.entries.size() >= Bag::kIndexThreshold &&
+         rep.entries.size() < (uint64_t{1} << 32) - 1;
+}
+
+/// Builds the open-addressing table: power-of-two capacity at load factor
+/// <= 0.5, linear probing, slots hold entry index + 1. Deterministic (one
+/// insertion order) and collision-safe: probes compare the actual values.
+void BuildValueIndex(const Bag::Rep& rep) {
+  const size_t n = rep.entries.size();
+  const size_t cap = std::bit_ceil(n * 2);
+  rep.index.assign(cap, 0);
+  const size_t mask = cap - 1;
+  for (size_t i = 0; i < n; ++i) {
+    size_t slot = rep.entries[i].value.Hash() & mask;
+    while (rep.index[slot] != 0) slot = (slot + 1) & mask;
+    rep.index[slot] = static_cast<uint32_t>(i + 1);
+  }
+  obs::GlobalMetrics().GetCounter("kernel.index_builds")->Increment();
+}
+
+/// Probes the (built-on-demand) index of `rep` for `value`; nullptr when
+/// absent. Requires IndexEligible(rep).
+const BagEntry* IndexedFind(const Bag::Rep& rep, const Value& value) {
+  std::call_once(rep.index_once, [&rep] { BuildValueIndex(rep); });
+  static obs::Counter* probes =
+      obs::GlobalMetrics().GetCounter("kernel.index_probes");
+  static obs::Counter* hits =
+      obs::GlobalMetrics().GetCounter("kernel.index_hits");
+  probes->Increment();
+  const size_t mask = rep.index.size() - 1;
+  size_t slot = value.Hash() & mask;
+  while (true) {
+    const uint32_t stored = rep.index[slot];
+    if (stored == 0) return nullptr;
+    const BagEntry& e = rep.entries[stored - 1];
+    if (e.value == value) {
+      hits->Increment();
+      return &e;
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+// --------------------------------------------------- parallel canonical sort
+
+bool EntryValueLess(const BagEntry& a, const BagEntry& b) {
+  return a.value.Compare(b.value) < 0;
+}
+
+/// Sorts `items` by value order. Large inputs are chunk-sorted on the
+/// global pool, then the sorted runs are merged pairwise in index order —
+/// so the resulting sequence of (value, count) contents is independent of
+/// the thread count.
+void SortEntriesByValue(std::vector<BagEntry>& items) {
+  constexpr size_t kSortGrain = 4096;
+  const size_t n = items.size();
+  const size_t chunks = ParallelChunkCount(n, kSortGrain);
+  if (chunks <= 1) {
+    std::sort(items.begin(), items.end(), EntryValueLess);
+    return;
+  }
+  const size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::pair<size_t, size_t>> runs;
+  for (size_t begin = 0; begin < n; begin += per) {
+    runs.emplace_back(begin, std::min(begin + per, n));
+  }
+  ThreadPool::Global().Run(runs.size(), [&](size_t c) {
+    std::sort(items.begin() + runs[c].first, items.begin() + runs[c].second,
+              EntryValueLess);
+  });
+  // Merge adjacent runs, halving the run count each round; the pairwise
+  // merges of one round are independent and run on the pool too.
+  std::vector<BagEntry> scratch(n);
+  std::vector<BagEntry>* src = &items;
+  std::vector<BagEntry>* dst = &scratch;
+  while (runs.size() > 1) {
+    std::vector<std::pair<size_t, size_t>> next;
+    const size_t pairs = runs.size() / 2;
+    for (size_t p = 0; p < pairs; ++p) {
+      next.emplace_back(runs[2 * p].first, runs[2 * p + 1].second);
+    }
+    if (runs.size() % 2 == 1) next.push_back(runs.back());
+    ThreadPool::Global().Run(next.size(), [&](size_t p) {
+      if (p < pairs) {
+        const auto [lo, mid] = runs[2 * p];
+        const auto [mid2, hi] = runs[2 * p + 1];
+        (void)mid2;
+        std::merge(std::make_move_iterator(src->begin() + lo),
+                   std::make_move_iterator(src->begin() + mid),
+                   std::make_move_iterator(src->begin() + mid),
+                   std::make_move_iterator(src->begin() + hi),
+                   dst->begin() + lo, EntryValueLess);
+      } else {
+        const auto [lo, hi] = runs[2 * p];
+        std::move(src->begin() + lo, src->begin() + hi, dst->begin() + lo);
+      }
+    });
+    runs = std::move(next);
+    std::swap(src, dst);
+  }
+  if (src != &items) items = std::move(*src);
 }
 
 }  // namespace
@@ -184,22 +304,35 @@ void Bag::Builder::Add(Value value, Mult count) {
 
 void Bag::Builder::AddBag(const Bag& bag, const Mult& factor) {
   if (factor.IsZero()) return;
+  Reserve(bag.entries().size());
   for (const BagEntry& e : bag.entries()) {
     Add(e.value, e.count * factor);
   }
 }
 
 Result<Bag> Bag::Builder::Build() && {
-  std::sort(items_.begin(), items_.end(),
-            [](const BagEntry& a, const BagEntry& b) {
-              return a.value.Compare(b.value) < 0;
-            });
+  // Kernels that emit in canonical order (merge walks, products of
+  // canonical operands, subbag materialization) skip the sort entirely;
+  // the pre-scan costs one Compare per adjacent pair.
+  bool presorted = true;
+  for (size_t i = 1; i < items_.size(); ++i) {
+    if (items_[i - 1].value.Compare(items_[i].value) > 0) {
+      presorted = false;
+      break;
+    }
+  }
+  if (!presorted) SortEntriesByValue(items_);
   auto rep = std::make_shared<Rep>();
+  rep->entries.reserve(items_.size());
   Type elem = declared_;
   Mult total;
   size_t h = 0x90u;
   for (BagEntry& item : items_) {
-    BAGALG_ASSIGN_OR_RETURN(elem, Type::Join(elem, item.value.type()));
+    // Join allocates; skip it when the item's type is already subsumed —
+    // the overwhelmingly common case of homogeneous additions.
+    if (!(item.value.type() == elem)) {
+      BAGALG_ASSIGN_OR_RETURN(elem, Type::Join(elem, item.value.type()));
+    }
     if (!rep->entries.empty() && rep->entries.back().value == item.value) {
       rep->entries.back().count += item.count;
     } else {
@@ -217,6 +350,30 @@ Result<Bag> Bag::Builder::Build() && {
   return Bag(std::move(rep));
 }
 
+Bag Bag::FromCanonicalEntries(Type element_type,
+                              std::vector<BagEntry> entries) {
+#ifndef NDEBUG
+  for (size_t i = 0; i < entries.size(); ++i) {
+    assert(!entries[i].count.IsZero() &&
+           "FromCanonicalEntries: zero multiplicity");
+    assert((i == 0 || entries[i - 1].value.Compare(entries[i].value) < 0) &&
+           "FromCanonicalEntries: entries not strictly sorted");
+  }
+#endif
+  auto rep = std::make_shared<Rep>();
+  Mult total;
+  size_t h = 0x90u;
+  for (const BagEntry& e : entries) {
+    total += e.count;
+    h = CombineHash(h, CombineHash(e.value.Hash(), e.count.Hash()));
+  }
+  rep->element_type = std::move(element_type);
+  rep->entries = std::move(entries);
+  rep->total = std::move(total);
+  rep->hash = h;
+  return Bag(std::move(rep));
+}
+
 const Type& Bag::element_type() const { return rep_->element_type; }
 
 const std::vector<BagEntry>& Bag::entries() const { return rep_->entries; }
@@ -231,6 +388,10 @@ bool Bag::IsSetLike() const {
 }
 
 Mult Bag::CountOf(const Value& value) const {
+  if (IndexEligible(*rep_)) {
+    const BagEntry* e = IndexedFind(*rep_, value);
+    return e != nullptr ? e->count : ZeroMult();
+  }
   const auto& es = entries();
   auto it = std::lower_bound(es.begin(), es.end(), value,
                              [](const BagEntry& e, const Value& v) {
@@ -241,9 +402,20 @@ Mult Bag::CountOf(const Value& value) const {
 }
 
 bool Bag::SubBagOf(const Bag& other) const {
-  // Merge-walk both canonical entry lists.
   const auto& a = entries();
   const auto& b = other.entries();
+  // Every distinct element here must also be distinct there.
+  if (a.size() > b.size()) return false;
+  // When this bag is much smaller, probe the other side's hash index
+  // instead of walking its whole entry list.
+  if (IndexEligible(*other.rep_) && a.size() * 4 <= b.size()) {
+    for (const BagEntry& e : a) {
+      const BagEntry* match = IndexedFind(*other.rep_, e.value);
+      if (match == nullptr || e.count > match->count) return false;
+    }
+    return true;
+  }
+  // Merge-walk both canonical entry lists.
   size_t i = 0, j = 0;
   while (i < a.size()) {
     if (j == b.size()) return false;

@@ -18,6 +18,7 @@
 /// encoding.h, not by the storage; the counted/explicit distinction is
 /// itself one of the experiments (E19).
 
+#include <algorithm>
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
@@ -120,6 +121,17 @@ class Bag {
     /// Declares the element type up front (useful for empty results).
     explicit Builder(Type element_type) : declared_(std::move(element_type)) {}
 
+    /// Pre-allocates room for `n` further pending additions. Safe to call
+    /// once per batch inside a loop: capacity grows geometrically, so
+    /// repeated incremental reservations stay amortized O(1) per item
+    /// (an exact-fit reserve would recopy everything on every call).
+    void Reserve(size_t n) {
+      const size_t want = items_.size() + n;
+      if (want > items_.capacity()) {
+        items_.reserve(std::max(want, items_.capacity() * 2));
+      }
+    }
+
     /// Adds `count` occurrences of `value`.
     void Add(Value value, Mult count);
     /// Adds a single occurrence.
@@ -130,13 +142,26 @@ class Bag {
     /// Number of (unmerged) pending additions, for limit pre-checks.
     size_t PendingCount() const { return items_.size(); }
 
-    /// Canonicalizes: sorts, merges duplicates, joins element types.
+    /// Canonicalizes: sorts (in parallel for large pending sets, skipped
+    /// entirely when the additions arrived in order — the common case for
+    /// kernels that emit canonically), merges duplicates, joins element
+    /// types.
     Result<Bag> Build() &&;
 
    private:
     Type declared_ = Type::Bottom();
     std::vector<BagEntry> items_;
   };
+
+  /// Constructs a bag directly from entries already in canonical form:
+  /// strictly sorted by Value order, distinct, positive counts, every value
+  /// acceptable by `element_type`. Skips the sort / duplicate-merge / type
+  /// join work of Builder; the kernels use it for outputs whose
+  /// canonicality is structural (merge walks, products of canonical
+  /// operands, subbag materialization). Preconditions are assert-checked in
+  /// debug builds only.
+  static Bag FromCanonicalEntries(Type element_type,
+                                  std::vector<BagEntry> entries);
 
   /// The joined element type of the bag's members (Bottom if empty and
   /// undeclared).
@@ -156,13 +181,20 @@ class Bag {
   /// True iff every multiplicity is 1 (the bag "is a set").
   bool IsSetLike() const;
 
-  /// Multiplicity of `value` in this bag (zero if absent).
+  /// Multiplicity of `value` in this bag (zero if absent). Bags with at
+  /// least kIndexThreshold distinct elements lazily build a hash index
+  /// (once, thread-safely) and answer in O(1) expected probes; smaller
+  /// bags binary-search the canonical entry list.
   Mult CountOf(const Value& value) const;
   /// True iff `value` occurs at least once.
   bool Contains(const Value& value) const { return !CountOf(value).IsZero(); }
   /// True iff this is a subbag of `other` (paper's ⊑: every multiplicity
-  /// here is ≤ the multiplicity there).
+  /// here is ≤ the multiplicity there). Probes `other`'s hash index when
+  /// this bag is much smaller; merge-walks otherwise.
   bool SubBagOf(const Bag& other) const;
+
+  /// Distinct-count threshold above which bags build the lazy hash index.
+  static constexpr size_t kIndexThreshold = 64;
 
   /// Precomputed structural hash (entry-based; element type excluded).
   size_t Hash() const;

@@ -217,6 +217,7 @@ class MaterializingOp : public Operator {
     output_.clear();
     pos_ = 0;
     BAGALG_ASSIGN_OR_RETURN(Bag bag, Materialize());
+    output_.reserve(bag.DistinctCount());
     for (const BagEntry& e : bag.entries()) {
       output_.push_back(Row{e.value, e.count});
     }

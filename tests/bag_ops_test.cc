@@ -17,6 +17,7 @@
 #include "src/core/encoding.h"
 #include "src/core/iso.h"
 #include "src/stats/sampler.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
 
 namespace bagalg {
@@ -515,6 +516,163 @@ TEST(BagOpsLimitsTest, BagDestroyRespectsMultBudget) {
   auto r = BagDestroy(outer, limits);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ------------------------------------------- determinism across thread counts
+
+/// Restores the default pool configuration when a test exits.
+struct PoolConfigGuard {
+  ~PoolConfigGuard() { ThreadPool::Configure(ParallelOptions::Default()); }
+};
+
+/// A bag of `n` distinct unary tuples with varying multiplicities.
+Bag WideTupleBag(size_t n, const char* prefix) {
+  Bag::Builder builder;
+  for (size_t i = 0; i < n; ++i) {
+    builder.Add(MakeTuple({MakeAtom(prefix + std::to_string(i))}),
+                Mult(i % 5 + 1));
+  }
+  return std::move(builder).Build().value();
+}
+
+struct KernelResults {
+  Bag uni, sub, prod, pset, pbag;
+};
+
+KernelResults RunKernels(const Bag& left, const Bag& right,
+                         const Bag& multbag) {
+  KernelResults r;
+  r.uni = AdditiveUnion(left, right).value();
+  r.sub = Subtract(left, right).value();
+  r.prod = CartesianProduct(left, right).value();
+  r.pset = Powerset(multbag).value();
+  r.pbag = Powerbag(multbag).value();
+  return r;
+}
+
+void ExpectIdentical(const KernelResults& x, const KernelResults& y) {
+  // Byte-identical: canonical equality, hash, and rendering all agree.
+  const Bag* xs[] = {&x.uni, &x.sub, &x.prod, &x.pset, &x.pbag};
+  const Bag* ys[] = {&y.uni, &y.sub, &y.prod, &y.pset, &y.pbag};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(*xs[i], *ys[i]) << "kernel " << i;
+    EXPECT_EQ(xs[i]->Hash(), ys[i]->Hash()) << "kernel " << i;
+    EXPECT_EQ(xs[i]->ToString(), ys[i]->ToString()) << "kernel " << i;
+  }
+}
+
+TEST(BagOpsDeterminismTest, KernelsIdenticalForOneTwoAndEightThreads) {
+  PoolConfigGuard guard;
+  // 64x64 product = 4096 pairs (above the pair grain) and a powerset of
+  // 8^4 = 4096 subbags (above the subbag grain), so the multi-thread
+  // configurations genuinely dispatch in parallel.
+  Bag left = WideTupleBag(64, "dl");
+  Bag right = WideTupleBag(64, "dr");
+  Bag multbag = B({{A("p"), 7}, {A("q"), 7}, {A("r"), 7}, {A("s"), 7}});
+
+  ThreadPool::Configure({1, 4096});
+  KernelResults serial = RunKernels(left, right, multbag);
+  ThreadPool::Configure({2, 64});
+  KernelResults two = RunKernels(left, right, multbag);
+  ThreadPool::Configure({8, 16});
+  KernelResults eight = RunKernels(left, right, multbag);
+
+  ExpectIdentical(serial, two);
+  ExpectIdentical(serial, eight);
+  // Sanity: the parallel runs computed the real thing.
+  EXPECT_EQ(serial.prod.DistinctCount(), 64u * 64u);
+  EXPECT_EQ(serial.pset.DistinctCount(), 4096u);
+  EXPECT_EQ(serial.pbag.TotalCount(),
+            BigNat::TwoPow(7 * 4));  // |P_b(B)| = 2^|B|
+}
+
+TEST(BagOpsDeterminismTest, BuilderCanonicalizationIdenticalAcrossThreads) {
+  PoolConfigGuard guard;
+  Rng rng(2024);
+  FlatBagSpec spec;
+  spec.arity = 2;
+  spec.num_atoms = 12;
+  spec.num_elements = 20000;  // large enough for the parallel sort path
+  spec.max_mult = 9;
+  ThreadPool::Configure({1, 4096});
+  Bag serial = RandomFlatBag(rng, spec);
+  rng = Rng(2024);
+  ThreadPool::Configure({8, 128});
+  Bag parallel = RandomFlatBag(rng, spec);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial.Hash(), parallel.Hash());
+  EXPECT_EQ(serial.ToString(), parallel.ToString());
+}
+
+// ------------------------------------------------ indexed merge fast paths
+
+TEST(BagOpsIndexTest, IndexedIntersectMatchesMergeWalk) {
+  // large is big enough to carry a hash index and small is a fraction of
+  // it, so Intersect takes the probe path; verify against a linear scan.
+  Bag large = WideTupleBag(256, "ix");
+  Bag::Builder sb;
+  for (size_t i = 0; i < 32; ++i) {
+    // Every other element overlaps with `large`.
+    const std::string name =
+        i % 2 == 0 ? "ix" + std::to_string(i * 4) : "only" + std::to_string(i);
+    sb.Add(MakeTuple({MakeAtom(name)}), Mult(2));
+  }
+  Bag small = std::move(sb).Build().value();
+
+  auto isect = Intersect(small, large);
+  ASSERT_TRUE(isect.ok());
+  auto isect_flipped = Intersect(large, small);
+  ASSERT_TRUE(isect_flipped.ok());
+  EXPECT_EQ(*isect, *isect_flipped);
+
+  Bag::Builder expected;
+  for (const BagEntry& e : small.entries()) {
+    Mult in_large;
+    for (const BagEntry& f : large.entries()) {
+      if (f.value == e.value) in_large = f.count;
+    }
+    Mult m = Mult::Min(e.count, in_large);
+    if (!m.IsZero()) expected.Add(e.value, std::move(m));
+  }
+  EXPECT_EQ(*isect, std::move(expected).Build().value());
+}
+
+TEST(BagOpsIndexTest, IndexedSubtractMatchesMergeWalk) {
+  Bag large = WideTupleBag(256, "sx");
+  Bag::Builder sb;
+  for (size_t i = 0; i < 32; ++i) {
+    const std::string name =
+        i % 2 == 0 ? "sx" + std::to_string(i * 4) : "keep" + std::to_string(i);
+    sb.Add(MakeTuple({MakeAtom(name)}), Mult(3));
+  }
+  Bag small = std::move(sb).Build().value();
+
+  auto diff = Subtract(small, large);
+  ASSERT_TRUE(diff.ok());
+  Bag::Builder expected;
+  for (const BagEntry& e : small.entries()) {
+    Mult in_large;
+    for (const BagEntry& f : large.entries()) {
+      if (f.value == e.value) in_large = f.count;
+    }
+    Mult m = e.count.MonusSub(in_large);
+    if (!m.IsZero()) expected.Add(e.value, std::move(m));
+  }
+  EXPECT_EQ(*diff, std::move(expected).Build().value());
+}
+
+TEST(BagOpsIndexTest, EmptyOperandIdentities) {
+  Bag a = WideTupleBag(8, "eid");
+  Bag empty;
+  EXPECT_EQ(AdditiveUnion(a, empty).value(), a);
+  EXPECT_EQ(AdditiveUnion(empty, a).value(), a);
+  EXPECT_EQ(MaxUnion(a, empty).value(), a);
+  EXPECT_EQ(Subtract(a, empty).value(), a);
+  EXPECT_TRUE(Subtract(empty, a).value().empty());
+  EXPECT_TRUE(Intersect(a, empty).value().empty());
+  EXPECT_TRUE(Intersect(empty, a).value().empty());
+  // Typed-empty results keep the joined element type.
+  EXPECT_EQ(Intersect(a, empty).value().element_type(), a.element_type());
 }
 
 }  // namespace

@@ -207,5 +207,110 @@ TEST_P(BigNatPropertyTest, AlgebraicLawsOnLargeOperands) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BigNatPropertyTest,
                          ::testing::Values(1, 2, 3, 17, 99));
 
+// ---- inline fast path: 2^32 / 2^64 boundaries and promotion round-trips --
+
+TEST(BigNatFastPathTest, ValuesBelowTwoPow64StayInline) {
+  const uint64_t k32 = uint64_t{1} << 32;
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, k32 - 1, k32, k32 + 1,
+                     UINT64_MAX - 1, UINT64_MAX}) {
+    BigNat n(v);
+    EXPECT_TRUE(n.IsInlined()) << v;
+    EXPECT_TRUE(n.FitsUint64()) << v;
+    EXPECT_EQ(n.ToUint64().value(), v);
+    EXPECT_EQ(n.ToString(), std::to_string(v));
+  }
+  EXPECT_TRUE(BigNat::TwoPow(63).IsInlined());
+  EXPECT_FALSE(BigNat::TwoPow(64).IsInlined());
+}
+
+TEST(BigNatFastPathTest, AdditionPromotesExactlyAtTwoPow64) {
+  EXPECT_TRUE((BigNat(UINT64_MAX - 1) + BigNat(1)).IsInlined());
+  BigNat sum = BigNat(UINT64_MAX) + BigNat(1);
+  EXPECT_FALSE(sum.IsInlined());
+  EXPECT_EQ(sum, BigNat::TwoPow(64));
+  EXPECT_EQ(sum.BitLength(), 65u);
+  EXPECT_EQ(sum.ToString(), "18446744073709551616");
+}
+
+TEST(BigNatFastPathTest, MultiplicationPromotesExactlyAtTwoPow64) {
+  // (2^32 - 1)(2^32 + 1) = 2^64 - 1: the largest inline product.
+  const uint64_t k32 = uint64_t{1} << 32;
+  BigNat largest = BigNat(k32 - 1) * BigNat(k32 + 1);
+  EXPECT_TRUE(largest.IsInlined());
+  EXPECT_EQ(largest.ToUint64().value(), UINT64_MAX);
+  // 2^32 · 2^32 = 2^64: the smallest promoting product.
+  BigNat promoted = BigNat(k32) * BigNat(k32);
+  EXPECT_FALSE(promoted.IsInlined());
+  EXPECT_EQ(promoted, BigNat::TwoPow(64));
+  EXPECT_FALSE((BigNat::TwoPow(63) * BigNat(2)).IsInlined());
+}
+
+TEST(BigNatFastPathTest, SlowPathResultsDemoteBackToInline) {
+  // Arithmetic that dips into limb form but lands below 2^64 must return
+  // to the inline representation (the canonical-form invariant).
+  BigNat big = BigNat::TwoPow(64);
+  BigNat back = big.MonusSub(BigNat(1));
+  EXPECT_TRUE(back.IsInlined());
+  EXPECT_EQ(back.ToUint64().value(), UINT64_MAX);
+
+  auto dm = big.DivMod(BigNat(2));
+  ASSERT_TRUE(dm.ok());
+  EXPECT_TRUE(dm->quotient.IsInlined());
+  EXPECT_EQ(dm->quotient, BigNat::TwoPow(63));
+
+  BigNat wide = BigNat::Pow(BigNat(7), 40);   // ~112 bits
+  BigNat narrow = BigNat::Pow(BigNat(7), 20); // ~56 bits
+  auto exact = wide.DivMod(narrow);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->quotient.IsInlined());
+  EXPECT_EQ(exact->quotient, narrow);
+  EXPECT_TRUE(exact->remainder.IsZero());
+}
+
+TEST(BigNatFastPathTest, PromotionRoundTripPreservesEqualityHashCompare) {
+  const uint64_t samples[] = {1, 42, (uint64_t{1} << 32) - 1,
+                              uint64_t{1} << 32, UINT64_MAX};
+  for (uint64_t v : samples) {
+    BigNat direct(v);
+    // Route the same value through the slow path and back.
+    BigNat round =
+        (direct + BigNat::TwoPow(64)).MonusSub(BigNat::TwoPow(64));
+    EXPECT_TRUE(round.IsInlined()) << v;
+    EXPECT_EQ(round, direct);
+    EXPECT_EQ(round.Hash(), direct.Hash());
+    EXPECT_EQ(round.Compare(direct), 0);
+  }
+}
+
+TEST(BigNatFastPathTest, CompareSpansTheBoundary) {
+  BigNat below(UINT64_MAX);
+  BigNat at = BigNat::TwoPow(64);
+  BigNat above = at + BigNat(1);
+  EXPECT_LT(below.Compare(at), 0);
+  EXPECT_GT(at.Compare(below), 0);
+  EXPECT_LT(at.Compare(above), 0);
+  EXPECT_EQ(at.Compare(BigNat::TwoPow(64)), 0);
+}
+
+TEST(BigNatFastPathTest, SlowPathCounterTracksPromotions) {
+  BigNat::ResetSlowPathOps();
+  BigNat a = BigNat(123456) * BigNat(654321);  // inline throughout
+  EXPECT_EQ(BigNat::SlowPathOps(), 0u);
+  BigNat b = BigNat::TwoPow(64) + a;  // limb-vector arithmetic
+  EXPECT_GT(BigNat::SlowPathOps(), 0u);
+  EXPECT_FALSE(b.IsInlined());
+}
+
+TEST(BigNatFastPathTest, DecimalRoundTripAcrossTheBoundary)  {
+  for (const char* text :
+       {"18446744073709551615", "18446744073709551616", "4294967295",
+        "4294967296", "4294967297", "340282366920938463463374607431768211456"}) {
+    auto parsed = BigNat::FromDecimal(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed->ToString(), text);
+    EXPECT_EQ(parsed->IsInlined(), parsed->FitsUint64());
+  }
+}
+
 }  // namespace
 }  // namespace bagalg

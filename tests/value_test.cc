@@ -12,6 +12,7 @@
 
 #include "src/core/encoding.h"
 #include "src/core/iso.h"
+#include "src/stats/sampler.h"
 #include "src/util/rng.h"
 
 namespace bagalg {
@@ -213,6 +214,102 @@ TEST(IsoTest, CollectAtomsFindsAllOccurrences) {
   EXPECT_EQ(atoms.size(), 2u);
   EXPECT_TRUE(atoms.count(GlobalAtom("x1")));
   EXPECT_TRUE(atoms.count(GlobalAtom("x2")));
+}
+
+// ------------------------------------------------------- lazy hash index
+
+/// Reference membership lookup: a linear scan of the canonical entries.
+Mult LinearCountOf(const Bag& bag, const Value& v) {
+  for (const BagEntry& e : bag.entries()) {
+    if (e.value == v) return e.count;
+  }
+  return Mult();
+}
+
+class BagIndexTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BagIndexTest, CountOfAgreesWithLinearScanOnRandomBags) {
+  Rng rng(GetParam());
+  FlatBagSpec spec;
+  spec.arity = 2;
+  spec.num_atoms = 24;
+  spec.num_elements = 400;  // distinct count well above kIndexThreshold
+  spec.max_mult = 7;
+  Bag bag = RandomFlatBag(rng, spec);
+  ASSERT_GE(bag.DistinctCount(), Bag::kIndexThreshold);
+
+  // Every present value answers its exact multiplicity.
+  for (const BagEntry& e : bag.entries()) {
+    EXPECT_EQ(bag.CountOf(e.value), e.count);
+    EXPECT_TRUE(bag.Contains(e.value));
+  }
+  // Random probes (present or absent) agree with the linear scan.
+  std::vector<Value> pool = AtomPool(spec.num_atoms + 8);
+  for (int i = 0; i < 500; ++i) {
+    Value probe = MakeTuple({pool[rng.Below(pool.size())],
+                             pool[rng.Below(pool.size())]});
+    EXPECT_EQ(bag.CountOf(probe), LinearCountOf(bag, probe))
+        << probe.ToString();
+  }
+  // Values of a different shape never match.
+  EXPECT_TRUE(bag.CountOf(pool[0]).IsZero());
+  EXPECT_TRUE(bag.CountOf(MakeTuple({pool[0]})).IsZero());
+}
+
+TEST_P(BagIndexTest, SubBagOfAgreesWithDefinitionOnRandomBags) {
+  Rng rng(GetParam() ^ 0x5eed);
+  FlatBagSpec spec;
+  spec.arity = 2;
+  spec.num_atoms = 12;
+  spec.num_elements = 300;
+  spec.max_mult = 5;
+  Bag large = RandomFlatBag(rng, spec);
+  ASSERT_GE(large.DistinctCount(), Bag::kIndexThreshold);
+
+  // A genuine subbag drawn from large's entries (indexed probe path).
+  Bag::Builder sub_builder;
+  for (const BagEntry& e : large.entries()) {
+    if (rng.Coin(0.15)) sub_builder.Add(e.value, Mult(1));
+  }
+  Bag sub = std::move(sub_builder).Build().value();
+  EXPECT_TRUE(sub.SubBagOf(large));
+
+  // Bumping one multiplicity past its entry in large breaks the relation.
+  if (!sub.empty()) {
+    Bag::Builder bump;
+    bump.AddBag(sub);
+    const Value& v = sub.entries().front().value;
+    bump.Add(v, large.CountOf(v));  // now count(v) = large's count + 1
+    Bag not_sub = std::move(bump).Build().value();
+    EXPECT_FALSE(not_sub.SubBagOf(large));
+  }
+
+  // Reference check on random small bags in both directions.
+  for (int trial = 0; trial < 20; ++trial) {
+    FlatBagSpec small_spec;
+    small_spec.arity = 2;
+    small_spec.num_atoms = 12;
+    small_spec.num_elements = 10;
+    small_spec.max_mult = 5;
+    Bag small = RandomFlatBag(rng, small_spec);
+    bool expected = true;
+    for (const BagEntry& e : small.entries()) {
+      if (LinearCountOf(large, e.value) < e.count) expected = false;
+    }
+    EXPECT_EQ(small.SubBagOf(large), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BagIndexTest,
+                         ::testing::Values(7, 21, 1234, 987654));
+
+TEST(BagIndexTest, SmallBagsAnswerWithoutIndex) {
+  // Below the threshold CountOf binary-searches; semantics are identical.
+  Bag bag = MakeBag({{A("a"), 3}, {A("b"), 1}});
+  EXPECT_LT(bag.DistinctCount(), Bag::kIndexThreshold);
+  EXPECT_EQ(bag.CountOf(A("a")), Mult(3));
+  EXPECT_EQ(bag.CountOf(A("b")), Mult(1));
+  EXPECT_TRUE(bag.CountOf(A("c")).IsZero());
 }
 
 }  // namespace
