@@ -86,7 +86,8 @@ BENCHMARK(BM_EvaluatorJoin)->RangeMultiplier(4)->Range(16, 1024);
 void BM_PipelineJoin(benchmark::State& state) {
   Database db = MakeDb(static_cast<size_t>(state.range(0)));
   Expr q = JoinChain();
-  exec::ExecOptions options{obs::GlobalTracerIfEnabled()};
+  exec::ExecOptions options;
+  options.tracer = obs::GlobalTracerIfEnabled();
   for (auto _ : state) {
     auto r = exec::RunPipeline(q, db, options);
     benchmark::DoNotOptimize(r);

@@ -60,8 +60,8 @@ int main(int argc, char** argv) {
   if (interactive) {
     std::cout << "bagalg — a nested bag algebra (Grumbach & Milo, PODS'93)\n"
               << "commands: let, schema, eval, count, exec, type, analyze, "
-                 "explain [analyze], optimize, stats, timing, \\metrics, "
-                 "\\trace, reset. Ctrl-D exits.\n";
+                 "explain [analyze|cost], optimize, stats, timing, \\lint, "
+                 "\\budget, \\metrics, \\trace, reset. Ctrl-D exits.\n";
   }
   std::string line;
   while (true) {

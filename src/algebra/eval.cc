@@ -326,6 +326,9 @@ class Walker {
 }  // namespace
 
 Result<Value> Evaluator::Eval(const Expr& expr, const Database& db) {
+  if (preflight_) {
+    BAGALG_RETURN_IF_ERROR(preflight_(expr, db));
+  }
   Walker walker(limits_, track_sizes_, &stats_, db, tracer_,
                 node_profiling_ ? &node_profiles_ : nullptr);
   return walker.Eval(expr);

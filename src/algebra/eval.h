@@ -15,8 +15,10 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "src/algebra/database.h"
 #include "src/algebra/expr.h"
@@ -107,6 +109,15 @@ class Evaluator {
   bool node_profiling() const { return node_profiling_; }
   const NodeProfileMap& node_profiles() const { return node_profiles_; }
 
+  /// An admission hook run before any evaluation work. A non-OK return
+  /// (typically kBudgetExceeded from analysis::MakeBudgetPreflight) refuses
+  /// the query; nothing is computed. Pass an empty function to clear.
+  using Preflight = std::function<Status(const Expr&, const Database&)>;
+  void set_preflight(Preflight preflight) {
+    preflight_ = std::move(preflight);
+  }
+  const Preflight& preflight() const { return preflight_; }
+
   /// Evaluates `expr` (which may denote any object) against `db`.
   Result<Value> Eval(const Expr& expr, const Database& db);
 
@@ -128,6 +139,7 @@ class Evaluator {
   bool track_sizes_ = false;
   bool node_profiling_ = false;
   obs::Tracer* tracer_ = nullptr;
+  Preflight preflight_;
   EvalStats stats_;
   NodeProfileMap node_profiles_;
 };

@@ -29,10 +29,38 @@ std::string FormatNs(uint64_t ns) {
   return buf;
 }
 
-void Render(const Expr& e,
-            const std::map<const ExprNode*, Type>& types,
-            const NodeProfileMap* profiles, int indent,
+/// True iff the subtree rooted at `e` contains a powerset/powerbag node.
+/// Memoized by node identity: derived-operator expansions share subtrees.
+bool SubtreeHasPowerset(const Expr& e,
+                        std::map<const ExprNode*, bool>& memo) {
+  auto it = memo.find(e.raw());
+  if (it != memo.end()) return it->second;
+  const ExprNode& n = e.node();
+  bool has =
+      n.kind == ExprKind::kPowerset || n.kind == ExprKind::kPowerbag;
+  for (const Expr& c : n.children) {
+    if (has) break;
+    has = SubtreeHasPowerset(c, memo);
+  }
+  memo[e.raw()] = has;
+  return has;
+}
+
+/// Everything Render threads through the recursion besides position.
+struct RenderContext {
+  explicit RenderContext(const std::map<const ExprNode*, Type>& t)
+      : types(t) {}
+
+  const std::map<const ExprNode*, Type>& types;
+  const NodeProfileMap* profiles = nullptr;
+  const NodeAnnotator* annotator = nullptr;
+  std::map<const ExprNode*, bool> pow_memo;
+};
+
+void Render(const Expr& e, RenderContext& ctx, int indent,
             size_t binder_depth, std::ostringstream& os) {
+  const std::map<const ExprNode*, Type>& types = ctx.types;
+  const NodeProfileMap* profiles = ctx.profiles;
   const ExprNode& n = e.node();
   os << std::string(static_cast<size_t>(indent) * 2, ' ');
   switch (n.kind) {
@@ -67,6 +95,11 @@ void Render(const Expr& e,
   }
   if (n.kind == ExprKind::kPowerset || n.kind == ExprKind::kPowerbag) {
     os << " [powerset]";
+  } else if (SubtreeHasPowerset(e, ctx.pow_memo)) {
+    os << " [powerset inside]";
+  }
+  if (ctx.annotator != nullptr) {
+    os << (*ctx.annotator)(e.raw());
   }
   if (profiles != nullptr) {
     auto pit = profiles->find(e.raw());
@@ -101,11 +134,11 @@ void Render(const Expr& e,
     if (label != nullptr) {
       os << std::string(static_cast<size_t>(indent + 1) * 2, ' ') << label
          << ":\n";
-      Render(n.children[i], types, profiles, indent + 2,
+      Render(n.children[i], ctx, indent + 2,
              binder_depth + static_cast<size_t>(binders), os);
       continue;
     }
-    Render(n.children[i], types, profiles, indent + 1,
+    Render(n.children[i], ctx, indent + 1,
            binder_depth + static_cast<size_t>(binders), os);
   }
 }
@@ -116,7 +149,20 @@ Result<std::string> ExplainExpr(const Expr& expr, const Schema& schema) {
   std::map<const ExprNode*, Type> types;
   BAGALG_RETURN_IF_ERROR(AnalyzeExpr(expr, schema, &types).status());
   std::ostringstream os;
-  Render(expr, types, nullptr, 0, 0, os);
+  RenderContext ctx{types};
+  Render(expr, ctx, 0, 0, os);
+  return os.str();
+}
+
+Result<std::string> ExplainExprAnnotated(const Expr& expr,
+                                         const Schema& schema,
+                                         const NodeAnnotator& annotator) {
+  std::map<const ExprNode*, Type> types;
+  BAGALG_RETURN_IF_ERROR(AnalyzeExpr(expr, schema, &types).status());
+  std::ostringstream os;
+  RenderContext ctx{types};
+  ctx.annotator = &annotator;
+  Render(expr, ctx, 0, 0, os);
   return os.str();
 }
 
@@ -130,7 +176,9 @@ Result<std::string> ExplainAnalyzeExpr(const Expr& expr, const Database& db,
   evaluator.set_node_profiling(was_profiling);
   BAGALG_RETURN_IF_ERROR(result.status());
   std::ostringstream os;
-  Render(expr, types, &evaluator.node_profiles(), 0, 0, os);
+  RenderContext ctx{types};
+  ctx.profiles = &evaluator.node_profiles();
+  Render(expr, ctx, 0, 0, os);
   if (result.value().IsBag()) {
     const Bag& bag = result.value().bag();
     os << "result: " << bag.DistinctCount() << " distinct, total "

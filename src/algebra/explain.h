@@ -10,6 +10,7 @@
 /// shown). Used by the REPL's `explain` command and handy in tests when a
 /// generated expression misbehaves.
 
+#include <functional>
 #include <string>
 
 #include "src/algebra/database.h"
@@ -28,10 +29,23 @@ namespace bagalg {
 ///       input B: {{[U, U]}}
 ///
 /// Powerset/powerbag nodes — the operators with exponential output — are
-/// flagged with a [powerset] marker.
+/// flagged with a [powerset] marker; every ancestor of one (including the
+/// expansions of derived operators like monus-via-powerset) is flagged
+/// [powerset inside], so the exponential core is visible from the plan root.
 ///
 /// TypeError/NotFound if the expression does not typecheck under `schema`.
 Result<std::string> ExplainExpr(const Expr& expr, const Schema& schema);
+
+/// Hook appending extra per-node text to an explain line. Called with each
+/// rendered node; the returned string (usually " [..]", empty for none) is
+/// placed after the type and powerset markers. The basis of the analysis
+/// layer's EXPLAIN COST.
+using NodeAnnotator = std::function<std::string(const ExprNode*)>;
+
+/// ExplainExpr with a per-node annotation hook.
+Result<std::string> ExplainExprAnnotated(const Expr& expr,
+                                         const Schema& schema,
+                                         const NodeAnnotator& annotator);
 
 /// EXPLAIN ANALYZE: evaluates `expr` against `db` with per-node profiling
 /// on `evaluator`, then renders the explain tree annotated with actual

@@ -1,0 +1,186 @@
+#include "src/analysis/lint.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/algebra/rewrite.h"
+#include "src/obs/metrics.h"
+
+namespace bagalg::analysis {
+
+const char* LintSeverityName(LintDiag::Severity s) {
+  switch (s) {
+    case LintDiag::Severity::kWarning:
+      return "warning";
+    case LintDiag::Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string LintDiag::ToString() const {
+  return code + " [" + span + "] " + message;
+}
+
+const NodeCost* LintContext::CostOf(const Expr& e) const {
+  auto it = analysis->per_node.find(e.raw());
+  return it == analysis->per_node.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void CollectNodes(const Expr& expr, const std::string& prefix,
+                  std::vector<LintContext::NodeRef>* out) {
+  std::string path = prefix.empty()
+                         ? std::string(ExprKindName(expr->kind))
+                         : prefix + " > " + ExprKindName(expr->kind);
+  out->push_back({expr, path});
+  for (const Expr& c : expr->children) CollectNodes(c, path, out);
+}
+
+// ------------------------------------------------------------ built-ins
+
+/// W001: powerset/powerbag applied to an operand whose size is not a static
+/// constant — the classic §3 trap: output exponential in the data.
+void CheckPowersetUnbounded(const LintContext& ctx,
+                            std::vector<LintDiag>* out) {
+  for (const auto& ref : ctx.nodes) {
+    const ExprNode& n = ref.expr.node();
+    if (n.kind != ExprKind::kPowerset && n.kind != ExprKind::kPowerbag) {
+      continue;
+    }
+    const NodeCost* operand = ctx.CostOf(n.children[0]);
+    if (operand == nullptr) continue;
+    bool constant = operand->bound.IsFinite() && operand->degree() == 0;
+    if (constant) continue;
+    out->push_back(
+        {LintDiag::Severity::kWarning, "W001", ref.path,
+         std::string(ExprKindName(n.kind)) +
+             " applied to an input-dependent bag (operand size " +
+             operand->bound.ToString() +
+             "): output is exponential in the data"});
+  }
+}
+
+/// W002: a product whose size bound reaches the configured polynomial
+/// degree — tractable on paper, explosive in practice.
+void CheckProductDegree(const LintContext& ctx, std::vector<LintDiag>* out) {
+  size_t threshold = ctx.options->product_degree_threshold;
+  for (const auto& ref : ctx.nodes) {
+    if (ref.expr->kind != ExprKind::kProduct) continue;
+    const NodeCost* cost = ctx.CostOf(ref.expr);
+    if (cost == nullptr || !cost->bound.IsFinite()) continue;
+    size_t degree = cost->degree();
+    if (degree < threshold) continue;
+    // Flag only the outermost product of a chain: a parent product already
+    // reports the full degree.
+    out->push_back({LintDiag::Severity::kWarning, "W002", ref.path,
+                    "product chain of degree " + std::to_string(degree) +
+                        " (bound " + cost->bound.ToString() +
+                        "); consider selecting before joining"});
+  }
+}
+
+/// W003: e ∸ e annihilates to the empty bag.
+void CheckSubtractionAnnihilates(const LintContext& ctx,
+                                 std::vector<LintDiag>* out) {
+  for (const auto& ref : ctx.nodes) {
+    const ExprNode& n = ref.expr.node();
+    if (n.kind != ExprKind::kSubtract) continue;
+    if (!ExprEquals(n.children[0], n.children[1])) continue;
+    out->push_back({LintDiag::Severity::kWarning, "W003", ref.path,
+                    "monus of an expression with itself is always the "
+                    "empty bag"});
+  }
+}
+
+/// W004: the rewriter still finds applicable rules — the query text is not
+/// in optimized form.
+void CheckRewriteMissed(const LintContext& ctx, std::vector<LintDiag>* out) {
+  if (ctx.nodes.empty()) return;
+  const Expr& root = ctx.nodes.front().expr;
+  std::map<std::string, size_t> applied;
+  auto rewritten = Optimize(root, *ctx.schema, RewriteOptions{}, &applied);
+  if (!rewritten.ok() || applied.empty()) return;
+  std::string rules;
+  size_t total = 0;
+  for (const auto& [name, count] : applied) {
+    if (!rules.empty()) rules += ", ";
+    rules += name + "*" + std::to_string(count);
+    total += count;
+  }
+  out->push_back({LintDiag::Severity::kWarning, "W004",
+                  ctx.nodes.front().path,
+                  "optimizer would apply " + std::to_string(total) +
+                      " rewrite(s): " + rules});
+}
+
+/// E001: a subexpression's estimated output provably exceeds the budget.
+void CheckBudgetExceeded(const LintContext& ctx, std::vector<LintDiag>* out) {
+  const CostBudget* budget = ctx.options->budget;
+  if (budget == nullptr) return;
+  const BigNat& max = budget->max_estimated_size;
+  for (const auto& ref : ctx.nodes) {
+    const NodeCost* cost = ctx.CostOf(ref.expr);
+    if (cost == nullptr) continue;
+    if (!ExceedsBudget(cost->bound, max)) continue;
+    out->push_back({LintDiag::Severity::kError, "E001", ref.path,
+                    "estimated output size " + cost->bound.ToString() +
+                        " exceeds budget " + max.ToString()});
+    return;  // one offender is enough; deeper nodes repeat the story
+  }
+}
+
+}  // namespace
+
+LintRuleRegistry& LintRuleRegistry::Global() {
+  static LintRuleRegistry* registry = [] {
+    auto* r = new LintRuleRegistry();
+    r->Register({"W001", "powerset on input-dependent bag",
+                 CheckPowersetUnbounded});
+    r->Register({"W002", "high-degree product chain", CheckProductDegree});
+    r->Register({"W003", "subtraction annihilates",
+                 CheckSubtractionAnnihilates});
+    r->Register({"W004", "rewrite opportunities missed", CheckRewriteMissed});
+    r->Register({"E001", "estimated output exceeds budget",
+                 CheckBudgetExceeded});
+    return r;
+  }();
+  return *registry;
+}
+
+void LintRuleRegistry::Register(LintRule rule) {
+  auto it = std::find_if(rules_.begin(), rules_.end(), [&](const LintRule& r) {
+    return r.code == rule.code;
+  });
+  if (it != rules_.end()) {
+    *it = std::move(rule);
+  } else {
+    rules_.push_back(std::move(rule));
+  }
+}
+
+Result<std::vector<LintDiag>> RunLint(const Expr& expr, const Schema& schema,
+                                      const CostFacts& facts,
+                                      const LintOptions& options) {
+  BAGALG_ASSIGN_OR_RETURN(CostAnalysis analysis,
+                          AnalyzeCost(expr, schema, facts));
+  LintContext ctx;
+  CollectNodes(expr, "", &ctx.nodes);
+  ctx.schema = &schema;
+  ctx.facts = &facts;
+  ctx.analysis = &analysis;
+  ctx.options = &options;
+  std::vector<LintDiag> diags;
+  for (const LintRule& rule : LintRuleRegistry::Global().rules()) {
+    rule.check(ctx, &diags);
+  }
+  if (options.record_metrics) {
+    for (const LintDiag& d : diags) {
+      obs::GlobalMetrics().GetCounter("lint.diags." + d.code)->Increment();
+    }
+  }
+  return diags;
+}
+
+}  // namespace bagalg::analysis

@@ -113,6 +113,9 @@ Result<OperatorPtr> CompilePipeline(const Expr& expr, const Database& db,
 
 Result<Bag> RunPipeline(const Expr& expr, const Database& db,
                         const ExecOptions& options) {
+  if (options.preflight) {
+    BAGALG_RETURN_IF_ERROR(options.preflight(expr, db));
+  }
   BAGALG_ASSIGN_OR_RETURN(OperatorPtr root,
                           CompilePipeline(expr, db, options));
   obs::Span span;

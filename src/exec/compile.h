@@ -10,6 +10,8 @@
 /// Everything else returns Unsupported — callers fall back to the
 /// tree-walking evaluator.
 
+#include <functional>
+
 #include "src/algebra/database.h"
 #include "src/algebra/expr.h"
 #include "src/exec/operators.h"
@@ -23,6 +25,10 @@ struct ExecOptions {
   /// tracing decorator (see WrapWithTracing) and RunPipeline adds a root
   /// "exec.pipeline" span.
   obs::Tracer* tracer = nullptr;
+  /// Admission hook run by RunPipeline before compiling: a non-OK return
+  /// (typically kBudgetExceeded from analysis::MakeBudgetPreflight) refuses
+  /// the query without executing anything.
+  std::function<Status(const Expr&, const Database&)> preflight;
 };
 
 /// Builds the physical pipeline for `expr` against `db`. Input bags are

@@ -5,6 +5,8 @@
 #include "src/algebra/explain.h"
 #include "src/algebra/rewrite.h"
 #include "src/algebra/typecheck.h"
+#include "src/analysis/lint.h"
+#include "src/analysis/static_cost.h"
 #include "src/exec/compile.h"
 #include "src/lang/parser.h"
 #include "src/obs/metrics.h"
@@ -106,7 +108,11 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
     // the same trace as the evaluator's.
     BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
     uint64_t t0 = obs::MonotonicNowNs();
-    exec::ExecOptions options{tracer_.enabled() ? &tracer_ : nullptr};
+    exec::ExecOptions options;
+    options.tracer = tracer_.enabled() ? &tracer_ : nullptr;
+    if (budget_.has_value()) {
+      options.preflight = analysis::MakeBudgetPreflight(*budget_);
+    }
     BAGALG_ASSIGN_OR_RETURN(Bag b, exec::RunPipeline(e, db_, options));
     uint64_t wall_ns = obs::MonotonicNowNs() - t0;
     obs::GlobalMetrics().GetCounter("repl.statements")->Increment();
@@ -145,6 +151,11 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
     if (sub == "analyze") {
       BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(analyze_rest));
       BAGALG_ASSIGN_OR_RETURN(plan, ExplainAnalyzeExpr(e, db_, evaluator_));
+    } else if (sub == "cost") {
+      BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(analyze_rest));
+      BAGALG_ASSIGN_OR_RETURN(
+          plan, analysis::ExplainCostExpr(e, db_.schema(),
+                                          analysis::CostFacts::Exact(db_)));
     } else {
       BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
       BAGALG_ASSIGN_OR_RETURN(plan, ExplainExpr(e, db_.schema()));
@@ -163,6 +174,48 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
       return std::string("timing off");
     }
     return Status::ParseError("timing syntax: timing on|off");
+  }
+
+  if (cmd == "\\lint") {
+    BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    analysis::LintOptions options;
+    if (budget_.has_value()) options.budget = &*budget_;
+    // Symbolic facts: lint is a *static* verdict, independent of whatever
+    // bags happen to be loaded right now.
+    BAGALG_ASSIGN_OR_RETURN(
+        std::vector<analysis::LintDiag> diags,
+        analysis::RunLint(e, db_.schema(), analysis::CostFacts::Symbolic(),
+                          options));
+    if (diags.empty()) return std::string("no lint diagnostics");
+    std::ostringstream os;
+    for (size_t i = 0; i < diags.size(); ++i) {
+      if (i > 0) os << "\n";
+      os << LintSeverityName(diags[i].severity) << ": "
+         << diags[i].ToString();
+    }
+    return os.str();
+  }
+
+  if (cmd == "\\budget") {
+    if (rest == "off") {
+      budget_.reset();
+      evaluator_.set_preflight({});
+      return std::string("budget off");
+    }
+    auto [size_text, mode] = SplitCommand(rest);
+    BAGALG_ASSIGN_OR_RETURN(BigNat max, BigNat::FromDecimal(size_text));
+    if (!mode.empty() && mode != "warn") {
+      return Status::ParseError("budget syntax: \\budget N [warn] | off");
+    }
+    analysis::CostBudget budget;
+    budget.max_estimated_size = max;
+    budget.on_exceed = mode == "warn"
+                           ? analysis::CostBudget::OnExceed::kWarn
+                           : analysis::CostBudget::OnExceed::kFail;
+    budget_ = budget;
+    evaluator_.set_preflight(analysis::MakeBudgetPreflight(budget));
+    return "budget " + max.ToString() +
+           (mode == "warn" ? std::string(" (warn)") : std::string());
   }
 
   if (cmd == "\\metrics") {

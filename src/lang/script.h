@@ -17,6 +17,9 @@
 ///   explain EXPR              print the typed operator tree (EXPLAIN)
 ///   explain analyze EXPR      evaluate + print the tree with actual calls,
 ///                             cumulative time, and max bag sizes per node
+///   explain cost EXPR         print the tree annotated with the static cost
+///                             analysis: tractability class, polynomial
+///                             degree, symbolic and estimated size bounds
 ///   fragment K EXPR           check membership in BALG^K
 ///   optimize EXPR             print the rewritten expression
 ///   dump                      print the database as a replayable script
@@ -24,15 +27,23 @@
 ///   timing on|off             print wall time + steps after each eval/count
 ///   reset                     clear database and statistics
 ///   \metrics                  print the process-wide metrics registry
+///   \lint EXPR                run the static lint rules (symbolic input
+///                             sizes) and print the diagnostics
+///   \budget N [warn]          refuse (or, with warn, admit but count)
+///                             queries whose statically estimated output
+///                             exceeds N before running them
+///   \budget off               clear the budget
 ///   \trace FILE               start tracing evaluations; the Chrome
 ///                             trace-event JSON is (re)written to FILE after
 ///                             every traced statement
 ///   \trace off                stop tracing (final flush included)
 
+#include <optional>
 #include <string>
 
 #include "src/algebra/database.h"
 #include "src/algebra/eval.h"
+#include "src/analysis/static_cost.h"
 #include "src/obs/trace.h"
 #include "src/util/result.h"
 
@@ -60,6 +71,11 @@ class ScriptRunner {
   /// The runner's tracer (enabled/cleared by the \trace command).
   const obs::Tracer& tracer() const { return tracer_; }
 
+  /// The active admission budget (set/cleared by the \budget command).
+  const std::optional<analysis::CostBudget>& budget() const {
+    return budget_;
+  }
+
  private:
   Result<std::string> RunCommand(const std::string& line);
 
@@ -68,6 +84,7 @@ class ScriptRunner {
   obs::Tracer tracer_;
   std::string trace_path_;
   bool timing_ = false;
+  std::optional<analysis::CostBudget> budget_;
 };
 
 }  // namespace bagalg::lang

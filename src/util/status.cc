@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kBudgetExceeded:
+      return "BudgetExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -33,6 +33,11 @@ enum class StatusCode {
   /// An operation is not supported in the requested fragment (e.g. P in
   /// BALG1) or not implemented for the given configuration.
   kUnsupported,
+  /// A query was *refused before evaluation* because static analysis proved
+  /// its estimated output size exceeds the caller's CostBudget. Distinct from
+  /// kResourceExhausted: nothing was computed; the refusal is a planning
+  /// decision, not a runtime failure.
+  kBudgetExceeded,
   /// An internal invariant was violated; indicates a bug in bagalg itself.
   kInternal,
 };
@@ -70,6 +75,9 @@ class Status {
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
+  static Status BudgetExceeded(std::string msg) {
+    return Status(StatusCode::kBudgetExceeded, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -95,11 +103,17 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
-/// Propagates an error Status from the current function.
-#define BAGALG_RETURN_IF_ERROR(expr)                  \
-  do {                                                \
-    ::bagalg::Status _st = (expr);                    \
-    if (!_st.ok()) return _st;                        \
+/// Propagates an error Status from the current function. The temporary's
+/// name is line-unique so uses may nest (e.g. inside a lambda argument of
+/// another invocation) without -Wshadow tripping.
+#define BAGALG_STATUS_CONCAT_INNER(a, b) a##b
+#define BAGALG_STATUS_CONCAT(a, b) BAGALG_STATUS_CONCAT_INNER(a, b)
+#define BAGALG_RETURN_IF_ERROR(expr)                                       \
+  do {                                                                     \
+    ::bagalg::Status BAGALG_STATUS_CONCAT(_bagalg_st_, __LINE__) = (expr); \
+    if (!BAGALG_STATUS_CONCAT(_bagalg_st_, __LINE__).ok()) {               \
+      return BAGALG_STATUS_CONCAT(_bagalg_st_, __LINE__);                  \
+    }                                                                      \
   } while (0)
 
 }  // namespace bagalg

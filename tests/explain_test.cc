@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "src/algebra/derived.h"
 #include "src/lang/script.h"
 
@@ -57,6 +59,56 @@ TEST(ExplainTest, FlagsPowersetNodes) {
   auto flat = ExplainExpr(Uplus(Input("G"), Input("G")), s);
   ASSERT_TRUE(flat.ok());
   EXPECT_EQ(flat->find("[powerset]"), std::string::npos) << *flat;
+}
+
+// Regression: ancestors of a powerset node carry an "[powerset inside]"
+// marker so the intractable core is visible from the plan root, not only at
+// the pow/powbag line itself. Derived operators that expand to powerset
+// constructions (monus-via-P, eps-via-P) must propagate it to their root.
+TEST(ExplainTest, AncestorsOfPowersetCarryInsideMarker) {
+  Schema s = TestSchema();
+  auto plan = ExplainExpr(Eps(Pow(Input("G"))), s);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // The root dedup line is flagged "inside"; the pow line itself keeps the
+  // direct "[powerset]" flag (and not the ancestor marker).
+  std::istringstream lines(*plan);
+  std::string line;
+  bool saw_root_marker = false, saw_pow_flag = false;
+  while (std::getline(lines, line)) {
+    if (line.find("dedup") != std::string::npos) {
+      EXPECT_NE(line.find("[powerset inside]"), std::string::npos) << line;
+      saw_root_marker = true;
+    }
+    if (line.find("pow") != std::string::npos &&
+        line.find("dedup") == std::string::npos) {
+      EXPECT_NE(line.find("[powerset]"), std::string::npos) << line;
+      EXPECT_EQ(line.find("[powerset inside]"), std::string::npos) << line;
+      saw_pow_flag = true;
+    }
+  }
+  EXPECT_TRUE(saw_root_marker) << *plan;
+  EXPECT_TRUE(saw_pow_flag) << *plan;
+
+  // Powerset-free plans carry neither marker.
+  auto flat = ExplainExpr(Uplus(Input("G"), Input("G")), s);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->find("[powerset inside]"), std::string::npos) << *flat;
+}
+
+TEST(ExplainTest, DerivedPowersetConstructionsPropagateInsideMarker) {
+  Type unary = Type::Bag(Type::Tuple({Type::Atom()}));
+  Schema s{{"R", unary}, {"S", unary}};
+  // MonusViaPowerset / EpsViaPowerset expand to trees whose *root* operator
+  // is not a powerset — the marker is how a reader learns the plan hides one.
+  for (const Expr& e : {MonusViaPowerset(Input("R"), Input("S")),
+                        EpsViaPowerset(Input("R"))}) {
+    auto plan = ExplainExpr(e, s);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    std::istringstream lines(*plan);
+    std::string first;
+    ASSERT_TRUE(static_cast<bool>(std::getline(lines, first))) << *plan;
+    EXPECT_NE(first.find("[powerset inside]"), std::string::npos) << *plan;
+  }
 }
 
 // Every derived operator from src/algebra/derived.h renders through

@@ -429,7 +429,8 @@ TEST(ExplainAnalyzeTest, PropagatesEvalErrors) {
 TEST(ExecTracingTest, OperatorLifecyclesBecomeSpans) {
   obs::Tracer tracer;
   Database db = JoinDb();
-  exec::ExecOptions options{&tracer};
+  exec::ExecOptions options;
+  options.tracer = &tracer;
   auto r = exec::RunPipeline(JoinQuery(), db, options);
   ASSERT_TRUE(r.ok()) << r.status();
   bool saw_scan = false, saw_product = false, saw_pipeline = false;
@@ -453,7 +454,8 @@ TEST(ExecTracingTest, OperatorLifecyclesBecomeSpans) {
 TEST(ExecTracingTest, DisabledTracerAddsNoWrappers) {
   Database db = JoinDb();
   obs::Tracer off(/*enabled=*/false);
-  exec::ExecOptions options{&off};
+  exec::ExecOptions options;
+  options.tracer = &off;
   auto with = exec::RunPipeline(JoinQuery(), db, options);
   auto without = exec::RunPipeline(JoinQuery(), db);
   ASSERT_TRUE(with.ok());

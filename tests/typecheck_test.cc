@@ -216,5 +216,106 @@ TEST(AnalysisTest, NodeCountMatchesExprSize) {
   EXPECT_EQ(a->node_count, ExprSize(e));
 }
 
+// Error paths are part of the checker's contract: the lint/budget layer and
+// the REPL both surface these messages verbatim, so the code AND the message
+// content are pinned here. A message regression is a user-facing regression.
+
+// Helper: run TypeOf and return the error status (asserting it IS an error).
+Status TypeErrorOf(const Expr& e, const Schema& s) {
+  auto t = TypeOf(e, s);
+  EXPECT_FALSE(t.ok()) << "expected a type error, got " << t->ToString();
+  return t.ok() ? Status::Ok() : t.status();
+}
+
+TEST(TypecheckErrorTest, MissingInputNamesTheBag) {
+  Status st = TypeErrorOf(Input("Missing"), FlatSchema());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_NE(st.message().find("no input bag named 'Missing'"),
+            std::string::npos)
+      << st;
+}
+
+TEST(TypecheckErrorTest, UnboundVariableReportsItsDepth) {
+  Schema s = FlatSchema();
+  // Var(0) is bound by the map; Var(2) reaches past every binder.
+  Status st = TypeErrorOf(Map(Tup({Var(2)}), Input("B")), s);
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_NE(st.message().find("unbound variable of depth 2"),
+            std::string::npos)
+      << st;
+}
+
+TEST(TypecheckErrorTest, ProjOutOfRangeNamesAttributeAndType) {
+  Schema s = FlatSchema();
+  // B's tuples have arity 2; attribute 3 is out of range.
+  Status st = TypeErrorOf(Map(Tup({Proj(Var(0), 3)}), Input("B")), s);
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_NE(st.message().find("proj attribute 3 out of range for [U, U]"),
+            std::string::npos)
+      << st;
+}
+
+TEST(TypecheckErrorTest, ProjOnNonTupleNamesTheActualType) {
+  Schema s = FlatSchema();
+  Status st = TypeErrorOf(Map(Tup({Proj(Beta(Var(0)), 1)}), Input("B")), s);
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_NE(st.message().find("proj applies to tuples"), std::string::npos)
+      << st;
+}
+
+TEST(TypecheckErrorTest, MergeArityMismatchSurfacesJoinError) {
+  Schema s = FlatSchema();
+  // B : {{[U, U]}} vs C : {{[U]}} — Type::Join reports the arity mismatch
+  // and uplus propagates it unchanged.
+  Status st = TypeErrorOf(Uplus(Input("B"), Input("C")), s);
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_NE(st.message().find("tuple arity mismatch"), std::string::npos)
+      << st;
+  EXPECT_NE(st.message().find("[U, U]"), std::string::npos) << st;
+  EXPECT_NE(st.message().find("[U]"), std::string::npos) << st;
+}
+
+TEST(TypecheckErrorTest, MergeOnNonBagNamesTheOperator) {
+  Schema s = FlatSchema();
+  Status st = TypeErrorOf(Map(Tup({Inter(Proj(Var(0), 1), Proj(Var(0), 1))}),
+                              Input("B")),
+                          s);
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_NE(st.message().find("inter requires a bag operand"),
+            std::string::npos)
+      << st;
+}
+
+TEST(TypecheckErrorTest, FlatOnFlatBagNamesTheFullType) {
+  Schema s = FlatSchema();
+  Status st = TypeErrorOf(Destroy(Input("B")), s);
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_NE(st.message().find("flat requires a bag of bags"),
+            std::string::npos)
+      << st;
+  EXPECT_NE(st.message().find("{{[U, U]}}"), std::string::npos) << st;
+}
+
+TEST(TypecheckErrorTest, ProductOfNonTuplesNamesBothElements) {
+  Schema s{{"NB", Type::Bag(Type::Bag(TupU(1)))}};
+  Status st = TypeErrorOf(Product(Input("NB"), Input("NB")), s);
+  EXPECT_EQ(st.code(), StatusCode::kTypeError);
+  EXPECT_NE(st.message().find("prod requires bags of tuples"),
+            std::string::npos)
+      << st;
+}
+
+TEST(TypecheckErrorTest, FragmentViolationsAreUnsupportedNotTypeErrors) {
+  Schema s = FlatSchema();
+  // Fragment checks gate *well-typed* queries, so they report kUnsupported —
+  // callers distinguish "your query is wrong" from "not in this fragment".
+  Status st = CheckBalg1(Pow(Input("B")), s);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+  Status nested = CheckFragment(Pow(Pow(Input("B"))), s, 2);
+  ASSERT_FALSE(nested.ok());
+  EXPECT_EQ(nested.code(), StatusCode::kUnsupported);
+}
+
 }  // namespace
 }  // namespace bagalg
