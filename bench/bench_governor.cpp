@@ -1,0 +1,299 @@
+// Governor checkpoint overhead — paired gov_off/gov_on runs of the
+// checkpointed kernels (merge walk, Cartesian product, powerset odometer,
+// evaluator entry loops) at threads=1. Each pair runs the identical
+// workload with and without an ambient no-limit ResourceGovernor, so the
+// time delta is exactly the checkpoint discipline's cost: one local
+// decrement per iteration plus a full Check() every kCheckpointStride.
+//
+// Two modes:
+//  - default: ordinary google-benchmark *_gov_off / *_gov_on rows, for the
+//    perf trajectory collected by bench/run_benchmarks.sh.
+//  - --paired: the assertion mode used by
+//      bench/run_benchmarks.sh --governor-overhead
+//    Shared hosts drift too much for independent off/on timings — per-rep
+//    means (and even minima over dozens of repetitions) were observed
+//    swinging -9%..+25% run to run, an order of magnitude above the budget
+//    being asserted. Paired mode instead times off and on back-to-back
+//    inside the same few-millisecond window, so frequency and scheduler
+//    drift hit both sides alike and cancel in the ratio; the reported
+//    overhead is the median of per-round ratios (each side min-of-3 within
+//    its round). Output is a JSON document consumed by
+//    compare_benchmarks.py --overhead, which asserts the <2% budget from
+//    docs/ROBUSTNESS.md.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/algebra/builder.h"
+#include "src/algebra/eval.h"
+#include "src/core/bag_ops.h"
+#include "src/stats/sampler.h"
+#include "src/util/governor.h"
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+
+using namespace bagalg;
+
+namespace {
+
+Bag MakeInput(size_t elements, uint64_t seed) {
+  Rng rng(seed);
+  FlatBagSpec spec;
+  spec.arity = 2;
+  spec.num_atoms = 64;
+  spec.num_elements = elements;
+  spec.max_mult = 4;
+  return RandomFlatBag(rng, spec);
+}
+
+/// Runs `body` once per benchmark iteration, optionally under a fresh
+/// no-limit governor (the configuration the REPL installs per statement).
+template <typename Body>
+void RunGoverned(benchmark::State& state, bool governed, const Body& body) {
+  for (auto _ : state) {
+    if (governed) {
+      ResourceGovernor governor{GovernorOptions{}};
+      GovernorScope scope(&governor);
+      body();
+    } else {
+      body();
+    }
+  }
+}
+
+void BM_Subtract_gov_off(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)), 1);
+  Bag b = MakeInput(static_cast<size_t>(state.range(0)), 2);
+  RunGoverned(state, false, [&] {
+    auto r = Subtract(a, b);
+    benchmark::DoNotOptimize(r);
+  });
+}
+BENCHMARK(BM_Subtract_gov_off)->Arg(1 << 14);
+
+void BM_Subtract_gov_on(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)), 1);
+  Bag b = MakeInput(static_cast<size_t>(state.range(0)), 2);
+  RunGoverned(state, true, [&] {
+    auto r = Subtract(a, b);
+    benchmark::DoNotOptimize(r);
+  });
+}
+BENCHMARK(BM_Subtract_gov_on)->Arg(1 << 14);
+
+void BM_Product_gov_off(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)), 1);
+  Bag b = MakeInput(static_cast<size_t>(state.range(0)), 2);
+  RunGoverned(state, false, [&] {
+    auto r = CartesianProduct(a, b);
+    benchmark::DoNotOptimize(r);
+  });
+}
+BENCHMARK(BM_Product_gov_off)->Arg(1 << 7);
+
+void BM_Product_gov_on(benchmark::State& state) {
+  Bag a = MakeInput(static_cast<size_t>(state.range(0)), 1);
+  Bag b = MakeInput(static_cast<size_t>(state.range(0)), 2);
+  RunGoverned(state, true, [&] {
+    auto r = CartesianProduct(a, b);
+    benchmark::DoNotOptimize(r);
+  });
+}
+BENCHMARK(BM_Product_gov_on)->Arg(1 << 7);
+
+Bag Atoms(size_t n) {
+  Bag::Builder b;
+  for (size_t i = 0; i < n; ++i) b.AddOne(MakeAtom("e" + std::to_string(i)));
+  auto r = std::move(b).Build();
+  return r.ok() ? std::move(r).value() : Bag();
+}
+
+void BM_Powerset_gov_off(benchmark::State& state) {
+  Bag in = Atoms(static_cast<size_t>(state.range(0)));
+  RunGoverned(state, false, [&] {
+    auto r = Powerset(in);
+    benchmark::DoNotOptimize(r);
+  });
+}
+BENCHMARK(BM_Powerset_gov_off)->Arg(12);
+
+void BM_Powerset_gov_on(benchmark::State& state) {
+  Bag in = Atoms(static_cast<size_t>(state.range(0)));
+  RunGoverned(state, true, [&] {
+    auto r = Powerset(in);
+    benchmark::DoNotOptimize(r);
+  });
+}
+BENCHMARK(BM_Powerset_gov_on)->Arg(12);
+
+Expr MapSelectQuery() {
+  return Map(Tup({Proj(Var(0), 2), Proj(Var(0), 1)}),
+             Select(Proj(Var(0), 1), Proj(Var(0), 1), Input("B")));
+}
+
+void BM_EvalMapSelect_gov_off(benchmark::State& state) {
+  Database db;
+  (void)db.Put("B", MakeInput(static_cast<size_t>(state.range(0)), 1));
+  Expr query = MapSelectQuery();
+  Evaluator eval;
+  RunGoverned(state, false, [&] {
+    auto r = eval.EvalToBag(query, db);
+    benchmark::DoNotOptimize(r);
+  });
+}
+BENCHMARK(BM_EvalMapSelect_gov_off)->Arg(1 << 13);
+
+void BM_EvalMapSelect_gov_on(benchmark::State& state) {
+  Database db;
+  (void)db.Put("B", MakeInput(static_cast<size_t>(state.range(0)), 1));
+  Expr query = MapSelectQuery();
+  Evaluator eval;
+  // The walker binds the ambient governor at construction time inside
+  // Evaluator::Eval, so the per-iteration governor is picked up through
+  // set_governor exactly like the REPL's per-statement EvalGovernor.
+  for (auto _ : state) {
+    ResourceGovernor governor{GovernorOptions{}};
+    eval.set_governor(&governor);
+    auto r = eval.EvalToBag(query, db);
+    benchmark::DoNotOptimize(r);
+    eval.set_governor(nullptr);
+  }
+}
+BENCHMARK(BM_EvalMapSelect_gov_on)->Arg(1 << 13);
+
+// ------------------------------------------------------------ paired mode
+
+uint64_t TimeOnceNs(const std::function<void()>& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
+}
+
+struct PairedWorkload {
+  std::string name;
+  std::function<void(bool governed)> run;
+};
+
+int RunPaired() {
+  constexpr int kRounds = 31;
+  constexpr int kInnerRuns = 3;
+
+  Bag sub_a = MakeInput(1 << 14, 1);
+  Bag sub_b = MakeInput(1 << 14, 2);
+  Bag prod_a = MakeInput(1 << 7, 1);
+  Bag prod_b = MakeInput(1 << 7, 2);
+  Bag pow_in = Atoms(12);
+  Database db;
+  (void)db.Put("B", MakeInput(1 << 13, 1));
+  Expr query = MapSelectQuery();
+  Evaluator eval;
+
+  auto governed_kernel = [](const std::function<void()>& body, bool governed) {
+    if (governed) {
+      ResourceGovernor governor{GovernorOptions{}};
+      GovernorScope scope(&governor);
+      body();
+    } else {
+      body();
+    }
+  };
+
+  std::vector<PairedWorkload> workloads;
+  workloads.push_back({"Subtract/16384", [&](bool governed) {
+                         governed_kernel(
+                             [&] {
+                               auto r = Subtract(sub_a, sub_b);
+                               benchmark::DoNotOptimize(r);
+                             },
+                             governed);
+                       }});
+  workloads.push_back({"Product/128", [&](bool governed) {
+                         governed_kernel(
+                             [&] {
+                               auto r = CartesianProduct(prod_a, prod_b);
+                               benchmark::DoNotOptimize(r);
+                             },
+                             governed);
+                       }});
+  workloads.push_back({"Powerset/12", [&](bool governed) {
+                         governed_kernel(
+                             [&] {
+                               auto r = Powerset(pow_in);
+                               benchmark::DoNotOptimize(r);
+                             },
+                             governed);
+                       }});
+  workloads.push_back({"EvalMapSelect/8192", [&](bool governed) {
+                         if (governed) {
+                           ResourceGovernor governor{GovernorOptions{}};
+                           eval.set_governor(&governor);
+                           auto r = eval.EvalToBag(query, db);
+                           benchmark::DoNotOptimize(r);
+                           eval.set_governor(nullptr);
+                         } else {
+                           auto r = eval.EvalToBag(query, db);
+                           benchmark::DoNotOptimize(r);
+                         }
+                       }});
+
+  std::cout << "{\n  \"governor_overhead_pairs\": [\n";
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const PairedWorkload& work = workloads[w];
+    // Warm caches, the atom intern table, and the allocator before timing.
+    work.run(false);
+    work.run(true);
+    std::vector<double> off_ns, on_ns, ratios;
+    for (int round = 0; round < kRounds; ++round) {
+      // Min-of-3 per side, both sides inside the same few-ms window: a
+      // frequency or scheduler excursion hits off and on alike, so it
+      // cancels in this round's ratio instead of biasing the estimate.
+      uint64_t off = ~uint64_t{0};
+      uint64_t on = ~uint64_t{0};
+      for (int i = 0; i < kInnerRuns; ++i) {
+        off = std::min(off, TimeOnceNs([&] { work.run(false); }));
+        on = std::min(on, TimeOnceNs([&] { work.run(true); }));
+      }
+      off_ns.push_back(static_cast<double>(off));
+      on_ns.push_back(static_cast<double>(on));
+      ratios.push_back(static_cast<double>(on) / static_cast<double>(off));
+    }
+    std::cout << "    {\"name\": \"" << work.name
+              << "\", \"off_ns\": " << Median(off_ns)
+              << ", \"on_ns\": " << Median(on_ns)
+              << ", \"overhead\": " << Median(ratios) - 1.0 << "}"
+              << (w + 1 < workloads.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n}\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The overhead budget is defined at threads=1: serial runs make the
+  // gov_on/gov_off delta attributable to checkpoints alone.
+  ThreadPool::Configure(ParallelOptions::Serial());
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paired") == 0) return RunPaired();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

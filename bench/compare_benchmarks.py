@@ -50,17 +50,113 @@ def format_ns(ns):
     return f"{ns:.3g} ns"
 
 
+def load_minima(path):
+    """Returns {benchmark name: min real_time_ns over repetitions} for one
+    BENCH_*.json file produced with --benchmark_repetitions. The minimum is
+    the noise-robust estimator for paired overhead measurement: scheduler
+    and frequency noise only ever add time, so the fastest repetition of
+    each side is the closest observation of its true cost."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        name = b.get("run_name", b.get("name", ""))
+        real = b.get("real_time")
+        unit = b.get("time_unit", "ns")
+        if not name or real is None or unit not in _TIME_UNIT_NS:
+            continue
+        ns = real * _TIME_UNIT_NS[unit]
+        out[name] = min(out.get(name, ns), ns)
+    return out
+
+
+def check_overhead(path, tolerance):
+    """Checks the governor checkpoint overhead in FILE against the
+    tolerance and fails when any workload pair exceeds it.
+
+    Used by `run_benchmarks.sh --governor-overhead` to assert the governor
+    checkpoint budget from docs/ROBUSTNESS.md (<2% at threads=1). The
+    preferred input is the JSON emitted by `bench_governor --paired`, whose
+    `governor_overhead_pairs` rows carry a noise-cancelling paired estimate
+    (median of per-round on/off ratios measured back-to-back — independent
+    off/on timings drift too much on shared hosts to assert a 2% budget).
+    A plain google-benchmark results file with *_gov_on / *_gov_off rows is
+    also accepted: those are paired by name on their minima over
+    repetitions.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    pairs = []  # (label, off_ns, on_ns, overhead)
+    if "governor_overhead_pairs" in doc:
+        for row in doc["governor_overhead_pairs"]:
+            pairs.append((row["name"], row["off_ns"], row["on_ns"],
+                          row["overhead"]))
+    else:
+        results = load_minima(path)
+        for name, on_ns in sorted(results.items()):
+            if "_gov_on" not in name:
+                continue
+            off_name = name.replace("_gov_on", "_gov_off")
+            if off_name not in results:
+                print(f"WARNING: {name} has no {off_name} partner",
+                      file=sys.stderr)
+                continue
+            off_ns = results[off_name]
+            overhead = (on_ns - off_ns) / off_ns if off_ns > 0 else 0.0
+            label = name.replace("_gov_on", "")
+            pairs.append((label, off_ns, on_ns, overhead))
+
+    if not pairs:
+        print("no gov_on/gov_off pairs found", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'benchmark':40s} {'gov off':>10s} {'gov on':>10s} "
+          f"{'overhead':>9s}")
+    for label, off_ns, on_ns, overhead in pairs:
+        tag = ""
+        if overhead > tolerance:
+            tag = "  OVER BUDGET"
+            failures.append((label, overhead))
+        print(f"{label[:40]:40s} {format_ns(off_ns):>10s} "
+              f"{format_ns(on_ns):>10s} {overhead:>+8.2%}{tag}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} pair(s) above the "
+              f"{tolerance:.0%} governor overhead budget:", file=sys.stderr)
+        for label, overhead in failures:
+            print(f"  {label}: {overhead:+.2%}", file=sys.stderr)
+        return 1
+    print(f"\nPASS: all {len(pairs)} pairs within the {tolerance:.0%} "
+          f"governor overhead budget.")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff benchmark results against committed baselines.")
     parser.add_argument("--baseline", default="bench/results",
                         help="directory of baseline BENCH_*.json files")
-    parser.add_argument("--candidate", required=True,
+    parser.add_argument("--candidate",
                         help="directory of freshly produced BENCH_*.json files")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="fail when any benchmark is this fraction slower "
                              "(default 0.10 = 10%%)")
+    parser.add_argument("--overhead", metavar="FILE",
+                        help="instead of diffing directories, pair "
+                             "*_gov_on/*_gov_off benchmarks within FILE and "
+                             "check the governor checkpoint overhead")
+    parser.add_argument("--overhead-tolerance", type=float, default=0.02,
+                        help="fail when any gov_on/gov_off pair exceeds this "
+                             "relative overhead (default 0.02 = 2%%)")
     args = parser.parse_args()
+
+    if args.overhead:
+        return check_overhead(args.overhead, args.overhead_tolerance)
+    if not args.candidate:
+        parser.error("--candidate is required unless --overhead is given")
 
     baseline_files = {
         f for f in os.listdir(args.baseline)

@@ -3,7 +3,7 @@
 # machine-readable output as BENCH_<name>.json, one file per bench, so the
 # perf trajectory accumulates run over run.
 #
-#   bench/run_benchmarks.sh [--compare] [BUILD_DIR] [OUT_DIR]
+#   bench/run_benchmarks.sh [--compare | --governor-overhead] [BUILD_DIR] [OUT_DIR]
 #
 # Defaults: BUILD_DIR=build, OUT_DIR=bench/results. Honors
 # BENCHMARK_MIN_TIME (default 0.05s per benchmark) to trade precision for
@@ -14,12 +14,40 @@
 # With --compare, results go to a temporary directory (unless OUT_DIR is
 # given) and are diffed against the committed bench/results baselines with
 # bench/compare_benchmarks.py; the script fails on any >10% regression.
+#
+# With --governor-overhead, only bench_governor runs (in its --paired
+# mode); the resulting per-workload gov-on/gov-off ratios are checked
+# against the <2% checkpoint overhead budget (docs/ROBUSTNESS.md) with
+# compare_benchmarks.py --overhead.
 set -euo pipefail
 
 COMPARE=0
 if [ "${1:-}" = "--compare" ]; then
   COMPARE=1
   shift
+fi
+
+if [ "${1:-}" = "--governor-overhead" ]; then
+  shift
+  BUILD_DIR="${1:-build}"
+  OUT_DIR="${2:-$(mktemp -d)}"
+  BIN="${BUILD_DIR}/bench/bench_governor"
+  if [ ! -x "${BIN}" ]; then
+    echo "missing ${BIN} — build first:" >&2
+    echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+  mkdir -p "${OUT_DIR}"
+  OUT="${OUT_DIR}/governor_overhead.json"
+  echo "== bench_governor --paired -> ${OUT}" >&2
+  # Paired mode: each workload times gov_off and gov_on back-to-back in the
+  # same few-ms window and reports the median of per-round ratios, so host
+  # frequency/scheduler drift cancels instead of swamping the 2% budget
+  # (independent off/on repetitions were observed swinging -9%..+25%
+  # run-to-run on a busy host).
+  "${BIN}" --paired >"${OUT}" 2>/dev/null
+  exec python3 "$(dirname "$0")/compare_benchmarks.py" \
+    --overhead "${OUT}" --overhead-tolerance 0.02
 fi
 
 BUILD_DIR="${1:-build}"

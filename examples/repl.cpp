@@ -8,9 +8,12 @@
 // Commands: let NAME = VALUE | schema NAME : TYPE | eval EXPR | count EXPR
 //           exec EXPR | type EXPR | analyze EXPR | explain [analyze] EXPR
 //           optimize EXPR | stats | timing on|off | \metrics | \trace FILE
-//           reset
+//           \timeout MS | \memlimit BYTES | reset
+// Ctrl-C cancels the statement currently running (the session survives;
+// at an idle prompt it is a no-op). Ctrl-D exits.
 // See src/lang/script.h for the full description.
 
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -21,8 +24,28 @@
 
 using namespace bagalg;
 
+namespace {
+
+// Copy of the runner's session token, installed before the signal handler.
+// CancellationToken::Cancel is an atomic release store, so calling it from
+// the handler is async-signal-safe.
+CancellationToken g_cancel;
+
+void HandleInterrupt(int) { g_cancel.Cancel(); }
+
+}  // namespace
+
 int main(int argc, char** argv) {
   lang::ScriptRunner runner;
+
+  g_cancel = runner.cancel_token();
+  struct sigaction action = {};
+  action.sa_handler = HandleInterrupt;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART keeps the blocking getline at the prompt alive across the
+  // signal; only the governed statement in flight observes the token.
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &action, nullptr);
 
   const char* script_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -61,7 +84,8 @@ int main(int argc, char** argv) {
     std::cout << "bagalg — a nested bag algebra (Grumbach & Milo, PODS'93)\n"
               << "commands: let, schema, eval, count, exec, type, analyze, "
                  "explain [analyze|cost], optimize, stats, timing, \\lint, "
-                 "\\budget, \\metrics, \\trace, reset. Ctrl-D exits.\n";
+                 "\\budget, \\timeout, \\memlimit, \\metrics, \\trace, "
+                 "reset. Ctrl-C cancels a running query; Ctrl-D exits.\n";
   }
   std::string line;
   while (true) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/encoding.h"
+#include "src/obs/metrics.h"
 
 namespace bagalg {
 
@@ -103,6 +104,11 @@ class Walker {
         stats_->steps > limits_.max_eval_steps) {
       return Status::ResourceExhausted("evaluation step budget exhausted");
     }
+    // Node visits scale with query size times data size (Map/Select bodies
+    // re-enter here per entry), making this the evaluator's checkpoint.
+    if (ticker_.Due()) {
+      BAGALG_RETURN_IF_ERROR(ticker_.Flush());
+    }
     const ExprNode& n = expr.node();
     stats_->op_counts[static_cast<size_t>(n.kind)] += 1;
 
@@ -190,6 +196,9 @@ class Walker {
         BAGALG_ASSIGN_OR_RETURN(Bag src, EvalBag(n.children[1]));
         Bag::Builder builder;
         for (const BagEntry& e : src.entries()) {
+          if (ticker_.Due()) {
+            BAGALG_RETURN_IF_ERROR(ticker_.Flush());
+          }
           binders_.push_back(e.value);
           auto image = Eval(n.children[0]);
           binders_.pop_back();
@@ -202,6 +211,9 @@ class Walker {
         BAGALG_ASSIGN_OR_RETURN(Bag src, EvalBag(n.children[2]));
         Bag::Builder builder(src.element_type());
         for (const BagEntry& e : src.entries()) {
+          if (ticker_.Due()) {
+            BAGALG_RETURN_IF_ERROR(ticker_.Flush());
+          }
           binders_.push_back(e.value);
           auto lhs = Eval(n.children[0]);
           auto rhs = Eval(n.children[1]);
@@ -293,6 +305,9 @@ class Walker {
     stats_->max_distinct =
         std::max(stats_->max_distinct, uint64_t{bag.DistinctCount()});
     for (const BagEntry& e : bag.entries()) {
+      if (ticker_.Due()) {
+        BAGALG_RETURN_IF_ERROR(ticker_.Flush());
+      }
       uint64_t bits = e.count.BitLength();
       stats_->max_mult_bits = std::max(stats_->max_mult_bits, bits);
       BAGALG_RETURN_IF_ERROR(CheckMultLimit(e.count, limits_));
@@ -321,6 +336,11 @@ class Walker {
   obs::Tracer* tracer_;
   NodeProfileMap* profiles_;
   std::vector<Value> binders_;
+  // Bound to the governor installed by Evaluator::Eval (inert when none).
+  // One ticker for the whole walk: node visits, entry loops, and Observe
+  // scans all drain the same stride. Checkpoint-only (no bytes per tick):
+  // the bag builders and kernels below account their own output bytes.
+  CheckpointTicker ticker_;
 };
 
 }  // namespace
@@ -329,9 +349,14 @@ Result<Value> Evaluator::Eval(const Expr& expr, const Database& db) {
   if (preflight_) {
     BAGALG_RETURN_IF_ERROR(preflight_(expr, db));
   }
+  // Install the per-query governor for the whole walk; the Walker's ticker
+  // binds to it at construction, after the scope is in place.
+  GovernorScope scope(governor_);
   Walker walker(limits_, track_sizes_, &stats_, db, tracer_,
                 node_profiling_ ? &node_profiles_ : nullptr);
-  return walker.Eval(expr);
+  Result<Value> out = walker.Eval(expr);
+  if (governor_ != nullptr) obs::MirrorGovernorStats();
+  return out;
 }
 
 Result<Bag> Evaluator::EvalToBag(const Expr& expr, const Database& db) {

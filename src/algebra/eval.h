@@ -26,6 +26,7 @@
 #include "src/core/limits.h"
 #include "src/obs/trace.h"
 #include "src/util/bignat.h"
+#include "src/util/governor.h"
 #include "src/util/result.h"
 
 namespace bagalg {
@@ -118,6 +119,15 @@ class Evaluator {
   }
   const Preflight& preflight() const { return preflight_; }
 
+  /// Attaches a per-query ResourceGovernor (deadline / memory cap /
+  /// cancellation; see util/governor.h). Eval installs it as the ambient
+  /// governor for the evaluation's duration, so every kernel checkpoint
+  /// below — including on pool workers — enforces it. The pointer is
+  /// borrowed; the caller keeps it alive across Eval and clears it with
+  /// nullptr (the default: ungoverned, zero overhead).
+  void set_governor(ResourceGovernor* governor) { governor_ = governor; }
+  ResourceGovernor* governor() const { return governor_; }
+
   /// Evaluates `expr` (which may denote any object) against `db`.
   Result<Value> Eval(const Expr& expr, const Database& db);
 
@@ -139,6 +149,7 @@ class Evaluator {
   bool track_sizes_ = false;
   bool node_profiling_ = false;
   obs::Tracer* tracer_ = nullptr;
+  ResourceGovernor* governor_ = nullptr;
   Preflight preflight_;
   EvalStats stats_;
   NodeProfileMap node_profiles_;

@@ -125,7 +125,9 @@ std::string SizeBound::ToString() const {
       // Huge exact constants (powerset towers) are reported by bit length;
       // printing a 300k-digit decimal helps nobody.
       if (poly.Degree() == 0) {
-        const BigNat& c = poly.ConstantTerm().magnitude();
+        // Copy, not reference: ConstantTerm() returns a temporary BigInt,
+        // and a reference through .magnitude() would dangle past this line.
+        const BigNat c = poly.ConstantTerm().magnitude();
         if (c.BitLength() > 64) {
           return "<=2^" + std::to_string(c.BitLength() - 1) + "+";
         }
@@ -588,11 +590,18 @@ Status CheckBudget(const Expr& expr, const Database& db,
   std::string detail = "estimated output size " + offending.ToString() +
                        " at [" + offending_path + "] exceeds budget " +
                        budget.max_estimated_size.ToString();
+  // Counted twice on purpose: `budget.*` is the original (back-compat)
+  // family, `governor.preflight.*` folds admission-time refusals into the
+  // governor family so static refusals and runtime trips are countable in
+  // one place (static refuses what it can prove; the governor stops the
+  // rest — see docs/ROBUSTNESS.md).
   if (budget.on_exceed == CostBudget::OnExceed::kWarn) {
     obs::GlobalMetrics().GetCounter("budget.warnings")->Increment();
+    obs::GlobalMetrics().GetCounter("governor.preflight.warnings")->Increment();
     return Status::Ok();
   }
   obs::GlobalMetrics().GetCounter("budget.refusals")->Increment();
+  obs::GlobalMetrics().GetCounter("governor.preflight.refusals")->Increment();
   return Status::BudgetExceeded(detail);
 }
 

@@ -9,6 +9,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/governor.h"
 #include "src/util/parallel.h"
 
 namespace bagalg {
@@ -25,6 +26,12 @@ constexpr size_t kSubbagGrain = 256;
 // for larger m fall back to on-the-fly computation to bound table memory
 // (a row for m holds m+1 values of up to ~m bits each).
 constexpr uint64_t kBinomialRowMaxM = 4096;
+
+// Rough per-subbag allocation charged to the governor's memory cap during
+// powerset/powerbag enumeration: one Value::Rep + one Bag::Rep + the kept
+// entry vector. Order-of-magnitude is all the cap needs; exact accounting
+// would put a size computation on the innermost loop.
+constexpr uint64_t kSubbagBytesEstimate = 160;
 
 /// RAII per-kernel scope: opens a tracer span when the global tracer is
 /// enabled, and on exit mirrors the cumulative pool / BigNat counters into
@@ -53,6 +60,9 @@ class KernelScope {
     parallel->Set(static_cast<int64_t>(stats.parallel_dispatches));
     serial->Set(static_cast<int64_t>(stats.serial_dispatches));
     slow->Set(static_cast<int64_t>(BigNat::SlowPathOps()));
+    // Only governed kernels refresh the governor gauges: the check keeps
+    // the mirror (seven gauge stores) off ungoverned library-call paths.
+    if (CurrentGovernor() != nullptr) obs::MirrorGovernorStats();
   }
 
  private:
@@ -78,8 +88,12 @@ Result<Bag> MergeCombine(const Bag& a, const Bag& b,
   std::vector<BagEntry> out;
   out.reserve(ea.size() + eb.size());
   const Mult zero;
+  CheckpointTicker ticker(sizeof(BagEntry));
   size_t i = 0, j = 0;
   while (i < ea.size() || j < eb.size()) {
+    if (ticker.Due()) {
+      BAGALG_RETURN_IF_ERROR(ticker.Flush());
+    }
     int c;
     if (i == ea.size()) {
       c = 1;
@@ -184,7 +198,11 @@ Result<Bag> Subtract(const Bag& a, const Bag& b) {
     MergeIndexedCounter()->Increment();
     std::vector<BagEntry> out;
     out.reserve(a.DistinctCount());
+    CheckpointTicker ticker(sizeof(BagEntry));
     for (const BagEntry& e : a.entries()) {
+      if (ticker.Due()) {
+        BAGALG_RETURN_IF_ERROR(ticker.Flush());
+      }
       Mult m = e.count.MonusSub(b.CountOf(e.value));
       if (!m.IsZero()) out.push_back({e.value, std::move(m)});
     }
@@ -215,7 +233,11 @@ Result<Bag> Intersect(const Bag& a, const Bag& b) {
     MergeIndexedCounter()->Increment();
     std::vector<BagEntry> out;
     out.reserve(small.DistinctCount());
+    CheckpointTicker ticker(sizeof(BagEntry));
     for (const BagEntry& e : small.entries()) {
+      if (ticker.Due()) {
+        BAGALG_RETURN_IF_ERROR(ticker.Flush());
+      }
       Mult other = large.CountOf(e.value);
       if (!other.IsZero()) {
         out.push_back({e.value, Mult::Min(e.count, other)});
@@ -281,9 +303,22 @@ Result<Bag> CartesianProduct(const Bag& a, const Bag& b,
       ea.size(), outer_grain, ChunkOut{},
       [&](size_t begin, size_t end, size_t) {
         ChunkOut out;
-        out.entries.reserve((end - begin) * nb);
+        size_t chunk_pairs = 0;
+        if (__builtin_mul_overflow(end - begin, nb, &chunk_pairs)) {
+          // Unreachable given the pre-checked total, but a wrapped reserve
+          // argument would be silent UB-adjacent under-reservation.
+          out.status = Status::ResourceExhausted(
+              "Cartesian product chunk size overflows size_t");
+          return out;
+        }
+        out.entries.reserve(chunk_pairs);
+        CheckpointTicker ticker(sizeof(BagEntry));
         for (size_t i = begin; i < end; ++i) {
           for (size_t j = 0; j < nb; ++j) {
+            if (ticker.Due()) {
+              out.status = ticker.Flush();
+              if (!out.status.ok()) return out;
+            }
             std::vector<Value> fields = ea[i].value.fields();
             const auto& bf = eb[j].value.fields();
             fields.insert(fields.end(), bf.begin(), bf.end());
@@ -436,13 +471,29 @@ Value MaterializeSubbag(const Bag& bag, const std::vector<uint64_t>& chosen) {
 template <typename MakeCount>
 Status EnumerateSubbagsInto(const Bag& bag, const SubbagEnum& en,
                             Bag::Builder& builder, MakeCount&& make_count) {
+  CheckpointTicker serial_ticker(kSubbagBytesEstimate);
   auto serial_emit = [&](const std::vector<uint64_t>& chosen) -> Status {
+    if (serial_ticker.Due()) {
+      BAGALG_RETURN_IF_ERROR(serial_ticker.Flush());
+    }
     Mult count;
     BAGALG_RETURN_IF_ERROR(make_count(chosen, &count));
     builder.Add(MaterializeSubbag(bag, chosen), std::move(count));
     return Status::Ok();
   };
   if (!en.enumerable) return ForEachSubbagAll(en.maxima, serial_emit);
+  // Charge the builder's up-front reservation before making it: an admitted
+  // but huge enumeration must trip the memory cap as a typed error, not die
+  // inside vector growth. Saturate the estimate if it overflows.
+  if (CurrentGovernor() != nullptr) {
+    uint64_t reserve_bytes = 0;
+    if (__builtin_mul_overflow(en.total, uint64_t{sizeof(BagEntry)},
+                               &reserve_bytes)) {
+      reserve_bytes = UINT64_MAX;
+    }
+    GovernorAccountBytes(reserve_bytes);
+    BAGALG_RETURN_IF_ERROR(GovernorCheckpoint());
+  }
   builder.Reserve(en.total);
   const size_t chunks = ParallelChunkCount(en.total, kSubbagGrain);
   if (chunks <= 1) {
@@ -453,14 +504,25 @@ Status EnumerateSubbagsInto(const Bag& bag, const SubbagEnum& en,
     Status status;
   };
   std::vector<ChunkOut> outs(chunks);
-  const uint64_t per = (en.total + chunks - 1) / chunks;
+  // Round up without forming total + chunks - 1, which wraps for totals
+  // near UINT64_MAX (reachable with the results cap disabled) and would
+  // silently shrink every chunk.
+  const uint64_t per =
+      en.total / chunks + (en.total % chunks != 0 ? 1 : 0);
   ThreadPool::Global().Run(chunks, [&](size_t c) {
-    const uint64_t lo = c * per;
-    const uint64_t hi = std::min<uint64_t>(lo + per, en.total);
-    if (lo >= hi) return;
+    uint64_t lo = 0;
+    if (__builtin_mul_overflow(static_cast<uint64_t>(c), per, &lo) ||
+        lo >= en.total) {
+      return;  // chunk lies entirely beyond the index space
+    }
+    const uint64_t hi = en.total - lo < per ? en.total : lo + per;
     outs[c].entries.reserve(hi - lo);
+    CheckpointTicker ticker(kSubbagBytesEstimate);
     outs[c].status = ForEachSubbagRange(
         en.maxima, lo, hi, [&](const std::vector<uint64_t>& chosen) -> Status {
+          if (ticker.Due()) {
+            BAGALG_RETURN_IF_ERROR(ticker.Flush());
+          }
           Mult count;
           BAGALG_RETURN_IF_ERROR(make_count(chosen, &count));
           outs[c].entries.push_back(
@@ -519,6 +581,7 @@ Result<Bag> Powerbag(const Bag& bag, const Limits& limits) {
   // per entry instead of O(k) per *subbag*. Rows beyond the size bound stay
   // empty and fall back to on-the-fly Binomial.
   std::vector<std::vector<Mult>> rows(entries.size());
+  CheckpointTicker row_ticker(sizeof(Mult));
   for (size_t i = 0; i < entries.size(); ++i) {
     const uint64_t m = en.maxima[i];
     if (m > kBinomialRowMaxM) continue;
@@ -526,6 +589,9 @@ Result<Bag> Powerbag(const Bag& bag, const Limits& limits) {
     row.reserve(m + 1);
     row.push_back(Mult(1));
     for (uint64_t k = 1; k <= m; ++k) {
+      if (row_ticker.Due()) {
+        BAGALG_RETURN_IF_ERROR(row_ticker.Flush());
+      }
       auto dm = (row.back() * Mult(m - k + 1)).DivMod(Mult(k));
       assert(dm.ok() && dm->remainder.IsZero());
       row.push_back(std::move(dm->quotient));
@@ -563,6 +629,7 @@ Result<Bag> BagDestroy(const Bag& bag, const Limits& limits) {
                         : Type::Bottom();
   Bag::Builder builder(inner_elem);
   uint64_t distinct_bound = 0;
+  CheckpointTicker ticker(sizeof(BagEntry));
   for (const BagEntry& e : bag.entries()) {
     if (__builtin_add_overflow(distinct_bound, e.value.bag().DistinctCount(),
                                &distinct_bound)) {
@@ -572,6 +639,9 @@ Result<Bag> BagDestroy(const Bag& bag, const Limits& limits) {
     BAGALG_RETURN_IF_ERROR(CheckDistinctLimit(distinct_bound, limits));
     builder.Reserve(e.value.bag().DistinctCount());
     for (const BagEntry& inner : e.value.bag().entries()) {
+      if (ticker.Due()) {
+        BAGALG_RETURN_IF_ERROR(ticker.Flush());
+      }
       Mult count = inner.count * e.count;
       BAGALG_RETURN_IF_ERROR(CheckMultLimit(count, limits));
       builder.Add(inner.value, std::move(count));
@@ -596,7 +666,11 @@ Result<Bag> MapBag(const Bag& bag,
                    const Type& declared_result_elem) {
   Bag::Builder builder(declared_result_elem);
   builder.Reserve(bag.DistinctCount());
+  CheckpointTicker ticker(sizeof(BagEntry));
   for (const BagEntry& e : bag.entries()) {
+    if (ticker.Due()) {
+      BAGALG_RETURN_IF_ERROR(ticker.Flush());
+    }
     BAGALG_ASSIGN_OR_RETURN(Value image, fn(e.value));
     builder.Add(std::move(image), e.count);
   }
@@ -608,7 +682,11 @@ Result<Bag> SelectBag(const Bag& bag,
   // A subsequence of canonical entries is canonical; the declared element
   // type is unchanged by selection.
   std::vector<BagEntry> out;
+  CheckpointTicker ticker(sizeof(BagEntry));
   for (const BagEntry& e : bag.entries()) {
+    if (ticker.Due()) {
+      BAGALG_RETURN_IF_ERROR(ticker.Flush());
+    }
     BAGALG_ASSIGN_OR_RETURN(bool keep, pred(e.value));
     if (keep) out.push_back({e.value, e.count});
   }
@@ -631,7 +709,11 @@ Result<Bag> Nest(const Bag& bag, const std::vector<size_t>& nested_attrs) {
   // Group by the key (non-nested attributes), accumulating the nested
   // projections with their multiplicities.
   std::map<std::vector<Value>, Bag::Builder> groups;
+  CheckpointTicker ticker(sizeof(BagEntry));
   for (const BagEntry& e : bag.entries()) {
+    if (ticker.Due()) {
+      BAGALG_RETURN_IF_ERROR(ticker.Flush());
+    }
     const auto& fields = e.value.fields();
     std::vector<Value> key;
     std::vector<Value> nested;
@@ -656,6 +738,7 @@ Result<Bag> Unnest(const Bag& bag, size_t attr, const Limits& limits) {
   }
   Bag::Builder out;
   uint64_t distinct_bound = 0;
+  CheckpointTicker ticker(sizeof(BagEntry));
   for (const BagEntry& e : bag.entries()) {
     const auto& fields = e.value.fields();
     if (attr >= fields.size()) {
@@ -673,6 +756,9 @@ Result<Bag> Unnest(const Bag& bag, size_t attr, const Limits& limits) {
     BAGALG_RETURN_IF_ERROR(CheckDistinctLimit(distinct_bound, limits));
     out.Reserve(inner.DistinctCount());
     for (const BagEntry& ie : inner.entries()) {
+      if (ticker.Due()) {
+        BAGALG_RETURN_IF_ERROR(ticker.Flush());
+      }
       std::vector<Value> new_fields;
       new_fields.reserve(fields.size());
       for (size_t i = 0; i < fields.size(); ++i) {

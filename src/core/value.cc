@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "src/obs/metrics.h"
+#include "src/util/governor.h"
 #include "src/util/parallel.h"
 
 namespace bagalg {
@@ -78,6 +79,7 @@ bool IndexEligible(const Bag::Rep& rep) {
 void BuildValueIndex(const Bag::Rep& rep) {
   const size_t n = rep.entries.size();
   const size_t cap = std::bit_ceil(n * 2);
+  GovernorAccountBytes(cap * sizeof(uint32_t));
   rep.index.assign(cap, 0);
   const size_t mask = cap - 1;
   for (size_t i = 0; i < n; ++i) {
@@ -347,6 +349,13 @@ Result<Bag> Bag::Builder::Build() && {
   rep->total = std::move(total);
   rep->hash = h;
   items_.clear();
+  // Charge the canonical entry array to the ambient governor's memory cap.
+  // Tiny bags (per-subbag results inside powerset enumeration) are skipped:
+  // their enclosing loop is already checkpointed, and charging them here
+  // would put an atomic on the kernels' hottest path.
+  if (rep->entries.size() >= kGovernorAccountMinEntries) {
+    GovernorAccountBytes(rep->entries.capacity() * sizeof(BagEntry));
+  }
   return Bag(std::move(rep));
 }
 
@@ -371,6 +380,9 @@ Bag Bag::FromCanonicalEntries(Type element_type,
   rep->entries = std::move(entries);
   rep->total = std::move(total);
   rep->hash = h;
+  if (rep->entries.size() >= kGovernorAccountMinEntries) {
+    GovernorAccountBytes(rep->entries.capacity() * sizeof(BagEntry));
+  }
   return Bag(std::move(rep));
 }
 

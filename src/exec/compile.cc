@@ -1,5 +1,7 @@
 #include "src/exec/compile.h"
 
+#include "src/obs/metrics.h"
+
 namespace bagalg::exec {
 
 namespace {
@@ -122,7 +124,11 @@ Result<Bag> RunPipeline(const Expr& expr, const Database& db,
   if (options.tracer != nullptr) {
     span = options.tracer->StartSpan("exec.pipeline", "exec");
   }
-  Result<Bag> out = Collect(root.get());
+  Result<Bag> out = [&] {
+    GovernorScope scope(options.governor);
+    return Collect(root.get());
+  }();
+  if (options.governor != nullptr) obs::MirrorGovernorStats();
   if (span.active() && out.ok()) {
     span.AddAttr("rows", uint64_t{out.value().DistinctCount()});
   }

@@ -15,6 +15,7 @@
 #include "src/algebra/database.h"
 #include "src/algebra/expr.h"
 #include "src/exec/operators.h"
+#include "src/util/governor.h"
 #include "src/util/result.h"
 
 namespace bagalg::exec {
@@ -29,6 +30,11 @@ struct ExecOptions {
   /// (typically kBudgetExceeded from analysis::MakeBudgetPreflight) refuses
   /// the query without executing anything.
   std::function<Status(const Expr&, const Database&)> preflight;
+  /// Per-query ResourceGovernor (deadline / memory cap / cancellation).
+  /// RunPipeline installs it as the ambient governor for the run, so the
+  /// operators' per-row checkpoints and the kernels below enforce it.
+  /// Borrowed; nullptr (the default) runs ungoverned.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Builds the physical pipeline for `expr` against `db`. Input bags are

@@ -2,16 +2,33 @@
 
 #include "src/core/bag_ops.h"
 #include "src/obs/metrics.h"
+#include "src/util/governor.h"
 
 namespace bagalg::exec {
 
 Result<Bag> Collect(Operator* root) {
   BAGALG_RETURN_IF_ERROR(root->Open());
   Bag::Builder builder;
+  CheckpointTicker ticker(sizeof(BagEntry));
   while (true) {
-    BAGALG_ASSIGN_OR_RETURN(std::optional<Row> row, root->Next());
-    if (!row.has_value()) break;
-    builder.Add(std::move(row->value), std::move(row->count));
+    // The drain loop runs once per produced row, so this is the pipeline's
+    // main checkpoint; operators with internal loops that can spin without
+    // producing (select filters, inner-side materialization) carry their
+    // own tickers. On a trip, Close() still runs: Volcano teardown is the
+    // same for error and success.
+    if (ticker.Due()) {
+      if (Status s = ticker.Flush(); !s.ok()) {
+        root->Close();
+        return s;
+      }
+    }
+    auto row = root->Next();
+    if (!row.ok()) {
+      root->Close();
+      return row.status();
+    }
+    if (!row.value().has_value()) break;
+    builder.Add(std::move(row.value()->value), std::move(row.value()->count));
   }
   root->Close();
   return std::move(builder).Build();
@@ -82,12 +99,26 @@ class SelectOp : public Operator {
   SelectOp(OperatorPtr child, Expr lhs, Expr rhs)
       : child_(std::move(child)), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override {
+    // Bind the ticker at Open, not construction: operators are built before
+    // RunPipeline installs the governor scope.
+    ticker_ = CheckpointTicker();
+    return child_->Open();
+  }
 
   Result<std::optional<Row>> Next() override {
+    // This loop can discard arbitrarily many rows before producing one, so
+    // the Collect-side per-row checkpoint alone would never fire on a
+    // selective filter over a huge child.
     while (true) {
+      if (ticker_.Due()) {
+        BAGALG_RETURN_IF_ERROR(ticker_.Flush());
+      }
       BAGALG_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-      if (!row.has_value()) return row;
+      // A fresh empty optional, not `row` itself: returning the disengaged
+      // object trips GCC 12's -Wmaybe-uninitialized through the inlined
+      // payload copy under -fsanitize=address.
+      if (!row.has_value()) return std::optional<Row>();
       BAGALG_ASSIGN_OR_RETURN(Value l, EvalRowLambda(lhs_, row->value));
       BAGALG_ASSIGN_OR_RETURN(Value r, EvalRowLambda(rhs_, row->value));
       if (l == r) return row;
@@ -101,6 +132,7 @@ class SelectOp : public Operator {
   OperatorPtr child_;
   Expr lhs_;
   Expr rhs_;
+  CheckpointTicker ticker_;
 };
 
 class MapProjectOp : public Operator {
@@ -112,7 +144,7 @@ class MapProjectOp : public Operator {
 
   Result<std::optional<Row>> Next() override {
     BAGALG_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-    if (!row.has_value()) return row;
+    if (!row.has_value()) return std::optional<Row>();
     BAGALG_ASSIGN_OR_RETURN(Value image, EvalRowLambda(body_, row->value));
     return std::optional<Row>(Row{std::move(image), std::move(row->count)});
   }
@@ -166,13 +198,25 @@ class NestedLoopProductOp : public Operator {
     BAGALG_RETURN_IF_ERROR(right_->Open());
     // Materialize the inner side once.
     inner_.clear();
+    CheckpointTicker ticker(sizeof(Row));
     while (true) {
-      BAGALG_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
-      if (!row.has_value()) break;
-      if (!row->value.IsTuple()) {
+      if (ticker.Due()) {
+        if (Status s = ticker.Flush(); !s.ok()) {
+          right_->Close();
+          return s;
+        }
+      }
+      auto row = right_->Next();
+      if (!row.ok()) {
+        right_->Close();
+        return row.status();
+      }
+      if (!row.value().has_value()) break;
+      if (!row.value()->value.IsTuple()) {
+        right_->Close();
         return Status::InvalidArgument("product requires tuple rows");
       }
-      inner_.push_back(std::move(*row));
+      inner_.push_back(std::move(*row.value()));
     }
     right_->Close();
     inner_pos_ = inner_.size();  // force a left fetch first
@@ -217,8 +261,12 @@ class MaterializingOp : public Operator {
     output_.clear();
     pos_ = 0;
     BAGALG_ASSIGN_OR_RETURN(Bag bag, Materialize());
+    CheckpointTicker ticker(sizeof(Row));
     output_.reserve(bag.DistinctCount());
     for (const BagEntry& e : bag.entries()) {
+      if (ticker.Due()) {
+        BAGALG_RETURN_IF_ERROR(ticker.Flush());
+      }
       output_.push_back(Row{e.value, e.count});
     }
     return Status::Ok();

@@ -27,6 +27,42 @@ std::pair<std::string, std::string> SplitCommand(const std::string& line) {
           rest == std::string::npos ? "" : line.substr(rest)};
 }
 
+/// Attaches a stack-allocated per-statement governor to the evaluator and
+/// guarantees detachment on every exit path (the Eval call sites return
+/// early through BAGALG_ASSIGN_OR_RETURN, so a bare set/unset pair would
+/// leave the evaluator pointing at a dead stack frame).
+class EvalGovernor {
+ public:
+  EvalGovernor(Evaluator& evaluator, const GovernorOptions& options)
+      : evaluator_(evaluator), governor_(options) {
+    evaluator_.set_governor(&governor_);
+  }
+  ~EvalGovernor() {
+    evaluator_.set_governor(nullptr);
+    obs::MirrorGovernorStats();
+  }
+  EvalGovernor(const EvalGovernor&) = delete;
+  EvalGovernor& operator=(const EvalGovernor&) = delete;
+
+  ResourceGovernor* get() { return &governor_; }
+
+ private:
+  Evaluator& evaluator_;
+  ResourceGovernor governor_;
+};
+
+/// Parses the argument of \timeout / \memlimit: a decimal count or "off".
+Result<uint64_t> ParseLimitArg(const std::string& text,
+                               const std::string& syntax) {
+  if (text.empty()) return Status::ParseError(syntax);
+  if (text == "off") return uint64_t{0};
+  auto n = BigNat::FromDecimal(text);
+  if (!n.ok()) return Status::ParseError(syntax);
+  auto v = n->ToUint64();
+  if (!v.ok()) return Status::ParseError(syntax);
+  return *v;
+}
+
 }  // namespace
 
 Result<std::string> ScriptRunner::RunLine(const std::string& line) {
@@ -79,6 +115,12 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
     BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
     uint64_t steps_before = evaluator_.stats().steps;
     uint64_t t0 = obs::MonotonicNowNs();
+    // Every statement runs governed: the session's \timeout / \memlimit
+    // become this statement's budget, and the session token makes Ctrl-C
+    // (or any cross-thread Cancel) a typed kCancelled instead of a dead
+    // process. The governor lives on this stack frame only.
+    cancel_.Reset();
+    EvalGovernor governed(evaluator_, StatementGovernorOptions());
     BAGALG_ASSIGN_OR_RETURN(Value v, evaluator_.Eval(e, db_));
     uint64_t wall_ns = obs::MonotonicNowNs() - t0;
     uint64_t steps = evaluator_.stats().steps - steps_before;
@@ -113,6 +155,9 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
     if (budget_.has_value()) {
       options.preflight = analysis::MakeBudgetPreflight(*budget_);
     }
+    cancel_.Reset();
+    ResourceGovernor governor(StatementGovernorOptions());
+    options.governor = &governor;
     BAGALG_ASSIGN_OR_RETURN(Bag b, exec::RunPipeline(e, db_, options));
     uint64_t wall_ns = obs::MonotonicNowNs() - t0;
     obs::GlobalMetrics().GetCounter("repl.statements")->Increment();
@@ -218,6 +263,22 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
            (mode == "warn" ? std::string(" (warn)") : std::string());
   }
 
+  if (cmd == "\\timeout") {
+    BAGALG_ASSIGN_OR_RETURN(
+        timeout_ms_,
+        ParseLimitArg(rest, "timeout syntax: \\timeout MS | off"));
+    if (timeout_ms_ == 0) return std::string("timeout off");
+    return "timeout " + std::to_string(timeout_ms_) + "ms";
+  }
+
+  if (cmd == "\\memlimit") {
+    BAGALG_ASSIGN_OR_RETURN(
+        memlimit_bytes_,
+        ParseLimitArg(rest, "memlimit syntax: \\memlimit BYTES | off"));
+    if (memlimit_bytes_ == 0) return std::string("memlimit off");
+    return "memlimit " + std::to_string(memlimit_bytes_) + " bytes";
+  }
+
   if (cmd == "\\metrics") {
     std::string dump = obs::GlobalMetrics().Snapshot().ToString();
     return dump.empty() ? std::string("(no metrics recorded)") : dump;
@@ -293,6 +354,14 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
   }
 
   return Status::ParseError("unknown command '" + cmd + "'");
+}
+
+GovernorOptions ScriptRunner::StatementGovernorOptions() {
+  GovernorOptions options;
+  options.wall_limit_ns = timeout_ms_ * uint64_t{1000000};
+  options.memory_limit_bytes = memlimit_bytes_;
+  options.cancel = cancel_;
+  return options;
 }
 
 namespace {

@@ -37,6 +37,14 @@
 ///                             trace-event JSON is (re)written to FILE after
 ///                             every traced statement
 ///   \trace off                stop tracing (final flush included)
+///   \timeout MS               give each following eval/count/exec statement
+///                             a wall-clock deadline of MS milliseconds; a
+///                             tripped query returns DeadlineExceeded and
+///                             the session keeps running
+///   \timeout off              clear the deadline
+///   \memlimit BYTES           cap each statement's accounted allocations;
+///                             a tripped query returns ResourceExhausted
+///   \memlimit off             clear the memory cap
 
 #include <optional>
 #include <string>
@@ -45,6 +53,7 @@
 #include "src/algebra/eval.h"
 #include "src/analysis/static_cost.h"
 #include "src/obs/trace.h"
+#include "src/util/governor.h"
 #include "src/util/result.h"
 
 namespace bagalg::lang {
@@ -76,8 +85,22 @@ class ScriptRunner {
     return budget_;
   }
 
+  /// The session's cancellation token. Cancel() (async-signal-safe) aborts
+  /// the statement currently running — it returns kCancelled and the
+  /// session stays usable; the token is re-armed at each statement start.
+  /// The REPL's Ctrl-C handler holds a copy of this token.
+  CancellationToken cancel_token() const { return cancel_; }
+
+  /// Current \timeout / \memlimit settings (0 = off), for tests and prompts.
+  uint64_t timeout_ms() const { return timeout_ms_; }
+  uint64_t memlimit_bytes() const { return memlimit_bytes_; }
+
  private:
   Result<std::string> RunCommand(const std::string& line);
+
+  /// GovernorOptions for one statement from the session's \timeout,
+  /// \memlimit, and cancellation token.
+  GovernorOptions StatementGovernorOptions();
 
   Database db_;
   Evaluator evaluator_;
@@ -85,6 +108,9 @@ class ScriptRunner {
   std::string trace_path_;
   bool timing_ = false;
   std::optional<analysis::CostBudget> budget_;
+  uint64_t timeout_ms_ = 0;
+  uint64_t memlimit_bytes_ = 0;
+  CancellationToken cancel_ = CancellationToken::Create();
 };
 
 }  // namespace bagalg::lang

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "src/obs/json.h"
+#include "src/util/fault.h"
+#include "src/util/governor.h"
 
 namespace bagalg::obs {
 
@@ -148,6 +150,32 @@ void MetricsRegistry::Reset() {
 MetricsRegistry& GlobalMetrics() {
   static MetricsRegistry registry;
   return registry;
+}
+
+void MirrorGovernorStats() {
+  // Gauges set to cumulative process-wide values: same convention as the
+  // kernel pool mirrors in bag_ops.cc. Static pointers keep repeated
+  // mirroring lock-free after the first lookup.
+  static Gauge* const deadline =
+      GlobalMetrics().GetGauge("governor.deadline.trips");
+  static Gauge* const memcap = GlobalMetrics().GetGauge("governor.memcap.trips");
+  static Gauge* const cancel = GlobalMetrics().GetGauge("governor.cancel.trips");
+  static Gauge* const fault_trips =
+      GlobalMetrics().GetGauge("governor.fault.trips");
+  static Gauge* const checkpoints =
+      GlobalMetrics().GetGauge("governor.checkpoints");
+  static Gauge* const bytes =
+      GlobalMetrics().GetGauge("governor.bytes_accounted");
+  static Gauge* const fault_events =
+      GlobalMetrics().GetGauge("governor.fault.events");
+  const GovernorStats stats = ResourceGovernor::Stats();
+  deadline->Set(static_cast<int64_t>(stats.deadline_trips));
+  memcap->Set(static_cast<int64_t>(stats.memcap_trips));
+  cancel->Set(static_cast<int64_t>(stats.cancel_trips));
+  fault_trips->Set(static_cast<int64_t>(stats.fault_trips));
+  checkpoints->Set(static_cast<int64_t>(stats.checkpoints));
+  bytes->Set(static_cast<int64_t>(stats.bytes_accounted));
+  fault_events->Set(static_cast<int64_t>(fault::EventCount()));
 }
 
 }  // namespace bagalg::obs

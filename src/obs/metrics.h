@@ -124,6 +124,14 @@ class MetricsRegistry {
 /// The process-wide registry used by the rewriter, exec engine, and REPL.
 MetricsRegistry& GlobalMetrics();
 
+/// Copies the cumulative ResourceGovernor and fault-injection counters into
+/// GlobalMetrics() gauges (`governor.deadline.trips`, `governor.memcap.trips`,
+/// `governor.cancel.trips`, `governor.fault.trips`, `governor.checkpoints`,
+/// `governor.bytes_accounted`, `governor.fault.events`). Called by the query
+/// drivers (eval, exec, REPL) and kernel scopes after governed work; cheap
+/// enough to call unconditionally but skipped on ungoverned hot paths.
+void MirrorGovernorStats();
+
 }  // namespace bagalg::obs
 
 #endif  // BAGALG_OBS_METRICS_H_

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/util/governor.h"
+
 namespace bagalg {
 
 namespace {
@@ -89,6 +91,10 @@ BigNat BigNat::FromLimbVector(std::vector<uint32_t> limbs) {
     if (limbs.size() == 2) v |= uint64_t{limbs[1]} << 32;
     out.small_ = v;
   } else {
+    // Only limb-backed values consume heap; the small_ fast path is free.
+    // This is where powerbag multiplicities (binomials, 2^n counts) grow,
+    // so it is the one BigNat site the memory cap must see.
+    GovernorAccountBytes(limbs.capacity() * sizeof(uint32_t));
     out.limbs_ = std::move(limbs);
   }
   return out;
@@ -102,6 +108,7 @@ void BigNat::PromoteToLimbs() {
     if (hi != 0) limbs_.push_back(hi);
   }
   small_ = 0;
+  GovernorAccountBytes(limbs_.capacity() * sizeof(uint32_t));
 }
 
 Result<BigNat> BigNat::FromDecimal(std::string_view text) {

@@ -1,0 +1,169 @@
+#include "src/util/fault.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "src/util/strings.h"
+
+namespace bagalg::fault {
+namespace {
+
+// Armed state. `g_armed` gates the hot path with one relaxed load; the spec
+// fields are only written while no query is running (Configure/Disarm are
+// test/startup entry points), published with release/acquire through
+// g_armed.
+std::atomic<bool> g_armed{false};
+FaultSpec g_spec;
+
+std::atomic<uint64_t> g_events{0};
+std::atomic<uint64_t> g_fires{0};
+std::once_flag g_env_once;
+
+// splitmix64: the per-event verdict in probabilistic mode is a pure
+// function of (seed, event index), so a given arming reproduces exactly,
+// independent of thread interleaving.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void LoadFromEnvironment() {
+  const char* env = std::getenv("BAGALG_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  Result<FaultSpec> parsed = FaultSpec::Parse(env);
+  // A malformed BAGALG_FAULT silently disarms rather than aborting: fault
+  // injection is a test facility and must never take down a production
+  // process that inherited a stray variable.
+  if (parsed.ok()) Configure(*parsed);
+}
+
+void EnsureEnvLoaded() { std::call_once(g_env_once, LoadFromEnvironment); }
+
+// Exception-free numeric parsing in the style of the lang lexer: the whole
+// string must be consumed.
+bool ParseUint64(const std::string& text, uint64_t* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+// Records one event on `point`'s stream and decides whether the armed
+// fault fires on it.
+bool ShouldFail(FaultPoint point) {
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  if (g_spec.point != point) return false;
+  const uint64_t index = g_events.fetch_add(1, std::memory_order_relaxed);
+  bool fire;
+  if (g_spec.probability > 0.0) {
+    // Map the hash to [0, 1) and compare; exactly reproducible for a given
+    // (seed, index) pair on every platform with IEEE doubles.
+    const uint64_t h = SplitMix64(g_spec.seed ^ index);
+    fire = static_cast<double>(h) <
+           g_spec.probability * 18446744073709551616.0;  // 2^64
+  } else {
+    fire = index == g_spec.after;
+  }
+  if (fire) g_fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+}  // namespace
+
+Result<FaultSpec> FaultSpec::Parse(std::string_view text) {
+  FaultSpec spec;
+  const std::vector<std::string> parts = SplitString(text, ':');
+  if (parts.empty() || parts[0].empty()) {
+    return Status::ParseError("empty fault spec");
+  }
+  if (parts[0] == "alloc") {
+    spec.point = FaultPoint::kAlloc;
+  } else if (parts[0] == "checkpoint") {
+    spec.point = FaultPoint::kCheckpoint;
+  } else {
+    return Status::ParseError("unknown fault point '" + parts[0] +
+                              "' (expected 'alloc' or 'checkpoint')");
+  }
+  bool have_mode = false;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const std::string& part = parts[i];
+    const size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == part.size()) {
+      return Status::ParseError("malformed fault option '" + part +
+                                "' (expected key=value)");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if (key == "after") {
+      if (!ParseUint64(value, &spec.after)) {
+        return Status::ParseError("bad fault option value '" + part + "'");
+      }
+      have_mode = true;
+    } else if (key == "p") {
+      if (!ParseDouble(value, &spec.probability)) {
+        return Status::ParseError("bad fault option value '" + part + "'");
+      }
+      if (spec.probability <= 0.0 || spec.probability > 1.0) {
+        return Status::ParseError("fault probability must be in (0, 1]");
+      }
+      have_mode = true;
+    } else if (key == "seed") {
+      if (!ParseUint64(value, &spec.seed)) {
+        return Status::ParseError("bad fault option value '" + part + "'");
+      }
+    } else {
+      return Status::ParseError("unknown fault option '" + key + "'");
+    }
+  }
+  if (!have_mode) {
+    return Status::ParseError(
+        "fault spec needs 'after=N' or 'p=F' (e.g. \"alloc:after=10\")");
+  }
+  return spec;
+}
+
+void Configure(const FaultSpec& spec) {
+  g_armed.store(false, std::memory_order_release);
+  g_spec = spec;
+  g_events.store(0, std::memory_order_relaxed);
+  g_fires.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void Disarm() {
+  // Mark the env as consumed so a later Enabled() does not resurrect it.
+  std::call_once(g_env_once, [] {});
+  g_armed.store(false, std::memory_order_release);
+}
+
+bool Enabled() {
+  EnsureEnvLoaded();
+  return g_armed.load(std::memory_order_acquire);
+}
+
+uint64_t EventCount() { return g_events.load(std::memory_order_relaxed); }
+uint64_t FireCount() { return g_fires.load(std::memory_order_relaxed); }
+
+bool ShouldFailAlloc() {
+  EnsureEnvLoaded();
+  return ShouldFail(FaultPoint::kAlloc);
+}
+
+bool ShouldFailCheckpoint() {
+  EnsureEnvLoaded();
+  return ShouldFail(FaultPoint::kCheckpoint);
+}
+
+}  // namespace bagalg::fault

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "src/util/governor.h"
+
 namespace bagalg {
 
 namespace {
@@ -49,6 +51,10 @@ struct ThreadPool::Impl {
 
   // Current batch, guarded by mu except for the lock-free index counter.
   const std::function<void(size_t)>* task = nullptr;
+  // The dispatching caller's ambient governor, re-installed on each worker
+  // for the batch's duration so kernel checkpoints inside pool tasks see
+  // the same per-query budget as the caller.
+  ResourceGovernor* governor = nullptr;
   size_t total = 0;
   std::atomic<size_t> next{0};
   size_t finished = 0;
@@ -65,14 +71,18 @@ struct ThreadPool::Impl {
       if (stop.stop_requested()) return;
       seen = generation;
       const std::function<void(size_t)>* batch_task = task;
+      ResourceGovernor* batch_governor = governor;
       const size_t batch_total = total;
       lock.unlock();
       size_t done_here = 0;
-      while (true) {
-        size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= batch_total) break;
-        (*batch_task)(i);
-        ++done_here;
+      {
+        GovernorScope scope(batch_governor);
+        while (true) {
+          size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= batch_total) break;
+          (*batch_task)(i);
+          ++done_here;
+        }
       }
       lock.lock();
       finished += done_here;
@@ -148,6 +158,7 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& task) {
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->task = &task;
+    impl_->governor = CurrentGovernor();
     impl_->total = n;
     impl_->next.store(0, std::memory_order_relaxed);
     impl_->finished = 0;
@@ -166,6 +177,7 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& task) {
   impl_->finished += done_here;
   impl_->cv_done.wait(lock, [&] { return impl_->finished >= n; });
   impl_->task = nullptr;
+  impl_->governor = nullptr;
 }
 
 size_t ParallelChunkCount(size_t n, size_t grain) {

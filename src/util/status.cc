@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kBudgetExceeded:
       return "BudgetExceeded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -38,6 +38,15 @@ enum class StatusCode {
   /// kResourceExhausted: nothing was computed; the refusal is a planning
   /// decision, not a runtime failure.
   kBudgetExceeded,
+  /// A running query crossed its ResourceGovernor wall-clock deadline and
+  /// was torn down cooperatively at a checkpoint (see util/governor.h).
+  /// Distinct from kResourceExhausted (a space budget) and kBudgetExceeded
+  /// (an admission-time refusal): work was done, then time ran out.
+  kDeadlineExceeded,
+  /// A running query was cancelled through a CancellationToken (Ctrl-C in
+  /// the REPL, a client disconnect, a fault-injection trip). The session
+  /// that issued the query remains usable.
+  kCancelled,
   /// An internal invariant was violated; indicates a bug in bagalg itself.
   kInternal,
 };
@@ -77,6 +86,12 @@ class Status {
   }
   static Status BudgetExceeded(std::string msg) {
     return Status(StatusCode::kBudgetExceeded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
