@@ -3,7 +3,7 @@
 # machine-readable output as BENCH_<name>.json, one file per bench, so the
 # perf trajectory accumulates run over run.
 #
-#   bench/run_benchmarks.sh [--compare | --governor-overhead] [BUILD_DIR] [OUT_DIR]
+#   bench/run_benchmarks.sh [--compare | --governor-overhead | --validate-obs] [BUILD_DIR] [OUT_DIR]
 #
 # Defaults: BUILD_DIR=build, OUT_DIR=bench/results. Honors
 # BENCHMARK_MIN_TIME (default 0.05s per benchmark) to trade precision for
@@ -19,6 +19,10 @@
 # mode); the resulting per-workload gov-on/gov-off ratios are checked
 # against the <2% checkpoint overhead budget (docs/ROBUSTNESS.md) with
 # compare_benchmarks.py --overhead.
+#
+# With --validate-obs, one bench runs briefly with --bagalg_trace and the
+# emitted Chrome trace is checked with tools/validate_obs.py (schema +
+# span-tree linkage), guarding the bench-side tracing hook.
 set -euo pipefail
 
 COMPARE=0
@@ -48,6 +52,22 @@ if [ "${1:-}" = "--governor-overhead" ]; then
   "${BIN}" --paired >"${OUT}" 2>/dev/null
   exec python3 "$(dirname "$0")/compare_benchmarks.py" \
     --overhead "${OUT}" --overhead-tolerance 0.02
+fi
+
+if [ "${1:-}" = "--validate-obs" ]; then
+  shift
+  BUILD_DIR="${1:-build}"
+  BIN="${BUILD_DIR}/bench/bench_ops"
+  if [ ! -x "${BIN}" ]; then
+    echo "missing ${BIN} — build first:" >&2
+    echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+  TRACE="$(mktemp --suffix=.json)"
+  echo "== bench_ops --bagalg_trace -> ${TRACE}" >&2
+  "${BIN}" --bagalg_trace="${TRACE}" --benchmark_min_time=0.01 \
+    --benchmark_filter='CartesianProduct|AdditiveUnion' >/dev/null 2>&1
+  exec python3 "$(dirname "$0")/../tools/validate_obs.py" --trace "${TRACE}"
 fi
 
 BUILD_DIR="${1:-build}"

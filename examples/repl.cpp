@@ -8,7 +8,8 @@
 // Commands: let NAME = VALUE | schema NAME : TYPE | eval EXPR | count EXPR
 //           exec EXPR | type EXPR | analyze EXPR | explain [analyze] EXPR
 //           optimize EXPR | stats | timing on|off | \metrics | \trace FILE
-//           \timeout MS | \memlimit BYTES | reset
+//           \timeout MS | \memlimit BYTES | \journal [N] | \flightrec ...
+//           \prom [FILE] | reset
 // Ctrl-C cancels the statement currently running (the session survives;
 // at an idle prompt it is a no-op). Ctrl-D exits.
 // See src/lang/script.h for the full description.
@@ -73,6 +74,10 @@ int main(int argc, char** argv) {
     auto result = runner.RunScript(text.str());
     if (!result.ok()) {
       std::cerr << result.status() << "\n";
+      // A governor trip leaves a flight-recorder dump behind — the black
+      // box of the aborted statement. Surface it next to the error.
+      std::string dump = runner.TakeFlightDump();
+      if (!dump.empty()) std::cerr << dump << "\n";
       return 1;
     }
     std::cout << *result;
@@ -85,7 +90,8 @@ int main(int argc, char** argv) {
               << "commands: let, schema, eval, count, exec, type, analyze, "
                  "explain [analyze|cost], optimize, stats, timing, \\lint, "
                  "\\budget, \\timeout, \\memlimit, \\metrics, \\trace, "
-                 "reset. Ctrl-C cancels a running query; Ctrl-D exits.\n";
+                 "\\journal, \\flightrec, \\prom, reset. "
+                 "Ctrl-C cancels a running query; Ctrl-D exits.\n";
   }
   std::string line;
   while (true) {
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
     auto result = runner.RunLine(line);
     if (!result.ok()) {
       std::cout << "error: " << result.status() << "\n";
+      std::string dump = runner.TakeFlightDump();
+      if (!dump.empty()) std::cout << dump << "\n";
       continue;
     }
     if (!result->empty()) std::cout << *result << "\n";

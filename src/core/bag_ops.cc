@@ -33,35 +33,35 @@ constexpr uint64_t kBinomialRowMaxM = 4096;
 // would put a size computation on the innermost loop.
 constexpr uint64_t kSubbagBytesEstimate = 160;
 
-/// RAII per-kernel scope: opens a tracer span when the global tracer is
-/// enabled, and on exit mirrors the cumulative pool / BigNat counters into
+/// RAII per-kernel scope: opens a span on the ambient tracer (the query
+/// driver's tracer when one is active on this thread, the global tracer
+/// otherwise), and on exit mirrors the cumulative pool / BigNat totals into
 /// the MetricsRegistry so `\metrics` and the bench exports see them.
 class KernelScope {
  public:
-  explicit KernelScope(const char* name) {
-    if (obs::Tracer* tracer = obs::GlobalTracerIfEnabled()) {
-      span_ = tracer->StartSpan(name, "kernel");
-    }
-  }
+  explicit KernelScope(const char* name)
+      : span_(obs::StartAmbientSpan(name, "kernel")) {}
 
   obs::Span& span() { return span_; }
 
   ~KernelScope() {
-    static obs::Gauge* const tasks =
-        obs::GlobalMetrics().GetGauge("kernel.pool_tasks_spawned");
-    static obs::Gauge* const parallel =
-        obs::GlobalMetrics().GetGauge("kernel.pool_parallel_dispatches");
-    static obs::Gauge* const serial =
-        obs::GlobalMetrics().GetGauge("kernel.pool_serial_dispatches");
-    static obs::Gauge* const slow =
-        obs::GlobalMetrics().GetGauge("kernel.bignat_slow_path_ops");
+    static obs::Counter* const tasks =
+        obs::GlobalMetrics().GetCounter("kernel.pool_tasks_spawned");
+    static obs::Counter* const parallel =
+        obs::GlobalMetrics().GetCounter("kernel.pool_parallel_dispatches");
+    static obs::Counter* const serial =
+        obs::GlobalMetrics().GetCounter("kernel.pool_serial_dispatches");
+    static obs::Counter* const slow =
+        obs::GlobalMetrics().GetCounter("kernel.bignat_slow_path_ops");
+    // Counters raised to the monotone process totals (see Counter::RaiseTo)
+    // so Prometheus exposition types them correctly.
     const ParallelStats stats = ThreadPool::Stats();
-    tasks->Set(static_cast<int64_t>(stats.tasks_spawned));
-    parallel->Set(static_cast<int64_t>(stats.parallel_dispatches));
-    serial->Set(static_cast<int64_t>(stats.serial_dispatches));
-    slow->Set(static_cast<int64_t>(BigNat::SlowPathOps()));
-    // Only governed kernels refresh the governor gauges: the check keeps
-    // the mirror (seven gauge stores) off ungoverned library-call paths.
+    tasks->RaiseTo(stats.tasks_spawned);
+    parallel->RaiseTo(stats.parallel_dispatches);
+    serial->RaiseTo(stats.serial_dispatches);
+    slow->RaiseTo(BigNat::SlowPathOps());
+    // Only governed kernels refresh the governor counters: the check keeps
+    // the mirror off ungoverned library-call paths.
     if (CurrentGovernor() != nullptr) obs::MirrorGovernorStats();
   }
 
@@ -301,7 +301,12 @@ Result<Bag> CartesianProduct(const Bag& a, const Bag& b,
   const size_t outer_grain = std::max<size_t>(1, kPairGrain / nb);
   ChunkOut combined = ParallelTransformReduce(
       ea.size(), outer_grain, ChunkOut{},
-      [&](size_t begin, size_t end, size_t) {
+      [&](size_t begin, size_t end, size_t chunk) {
+        // Ambient-context span: on a pool worker the propagated context
+        // parents this chunk under the kernel.product span.
+        obs::Span chunk_span =
+            obs::StartAmbientSpan("kernel.product.chunk", "kernel");
+        chunk_span.AddAttr("chunk", uint64_t{chunk});
         ChunkOut out;
         size_t chunk_pairs = 0;
         if (__builtin_mul_overflow(end - begin, nb, &chunk_pairs)) {
@@ -516,6 +521,12 @@ Status EnumerateSubbagsInto(const Bag& bag, const SubbagEnum& en,
       return;  // chunk lies entirely beyond the index space
     }
     const uint64_t hi = en.total - lo < per ? en.total : lo + per;
+    // Parents under the kernel.powerset / kernel.powerbag span through the
+    // pool's propagated trace context.
+    obs::Span chunk_span =
+        obs::StartAmbientSpan("kernel.subbag.chunk", "kernel");
+    chunk_span.AddAttr("chunk", uint64_t{c});
+    chunk_span.AddAttr("subbags", hi - lo);
     outs[c].entries.reserve(hi - lo);
     CheckpointTicker ticker(kSubbagBytesEstimate);
     outs[c].status = ForEachSubbagRange(

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/governor.h"
 #include "src/util/parallel.h"
 
@@ -131,12 +132,19 @@ void SortEntriesByValue(std::vector<BagEntry>& items) {
     std::sort(items.begin(), items.end(), EntryValueLess);
     return;
   }
+  obs::Span sort_span = obs::StartAmbientSpan("kernel.build.sort", "kernel");
+  sort_span.AddAttr("entries", uint64_t{n});
+  sort_span.AddAttr("chunks", uint64_t{chunks});
   const size_t per = (n + chunks - 1) / chunks;
   std::vector<std::pair<size_t, size_t>> runs;
   for (size_t begin = 0; begin < n; begin += per) {
     runs.emplace_back(begin, std::min(begin + per, n));
   }
   ThreadPool::Global().Run(runs.size(), [&](size_t c) {
+    // Chunk spans land under kernel.build.sort via pool context propagation.
+    obs::Span chunk_span =
+        obs::StartAmbientSpan("kernel.build.sort_chunk", "kernel");
+    chunk_span.AddAttr("chunk", uint64_t{c});
     std::sort(items.begin() + runs[c].first, items.begin() + runs[c].second,
               EntryValueLess);
   });
@@ -153,6 +161,9 @@ void SortEntriesByValue(std::vector<BagEntry>& items) {
     }
     if (runs.size() % 2 == 1) next.push_back(runs.back());
     ThreadPool::Global().Run(next.size(), [&](size_t p) {
+      obs::Span merge_span =
+          obs::StartAmbientSpan("kernel.build.sort_merge", "kernel");
+      merge_span.AddAttr("pair", uint64_t{p});
       if (p < pairs) {
         const auto [lo, mid] = runs[2 * p];
         const auto [mid2, hi] = runs[2 * p + 1];

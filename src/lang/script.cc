@@ -1,5 +1,7 @@
 #include "src/lang/script.h"
 
+#include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "src/algebra/explain.h"
@@ -65,6 +67,65 @@ Result<uint64_t> ParseLimitArg(const std::string& text,
 
 }  // namespace
 
+ScriptRunner::ScriptRunner(Limits limits)
+    : evaluator_(limits), tracer_(/*enabled=*/false) {
+  // The flight recorder is on by default: the tracer runs in non-buffering
+  // mode feeding only the ring, so every session carries a bounded
+  // last-K-spans black box without accumulating an unbounded trace.
+  tracer_.set_flight_recorder(&flight_);
+  SyncTracerMode();
+}
+
+void ScriptRunner::SyncTracerMode() {
+  tracer_.set_buffering(!trace_path_.empty());
+  flight_.set_enabled(flight_on_);
+  const bool enabled = flight_on_ || !trace_path_.empty();
+  tracer_.set_enabled(enabled);
+  evaluator_.set_tracer(enabled ? &tracer_ : nullptr);
+}
+
+obs::JournalEntry ScriptRunner::BeginJournalEntry(
+    const std::string& kind, const std::string& statement, const Expr& expr) {
+  obs::JournalEntry entry;
+  entry.kind = kind;
+  entry.statement = statement;
+  entry.statement_hash = obs::HashStatementText(statement);
+  // Best-effort static verdict; an expression the analyzer cannot cost
+  // (unknown names, type errors caught later) journals with empty fields.
+  auto cost = analysis::AnalyzeCost(expr, db_.schema(),
+                                    analysis::CostFacts::Exact(db_));
+  if (cost.ok()) {
+    entry.tractability = analysis::TractabilityName(cost->root.cls);
+    entry.cost_bound = cost->root.bound.ToString();
+  }
+  return entry;
+}
+
+void ScriptRunner::FinishStatement(obs::JournalEntry& entry,
+                                   const Status& status,
+                                   const ResourceGovernor& governor) {
+  entry.bytes_accounted = governor.bytes_allocated();
+  const TripKind trip = governor.trip_kind();
+  if (status.ok()) {
+    entry.outcome = "ok";
+  } else if (trip != TripKind::kNone) {
+    entry.outcome = TripKindName(trip);
+  } else if (status.code() == StatusCode::kBudgetExceeded) {
+    entry.outcome = "budget-refused";
+  } else {
+    entry.outcome = "error";
+  }
+  if (!status.ok()) entry.status_message = status.ToString();
+  journal_.Append(std::move(entry));
+  obs::GlobalMetrics().GetCounter("repl.statements")->Increment();
+  // A governor trip is exactly when the black box earns its keep: snapshot
+  // the ring before the next statement overwrites it.
+  if (trip != TripKind::kNone && flight_on_) {
+    last_flight_dump_ = obs::FormatFlightDump(flight_.Snapshot());
+    obs::GlobalMetrics().GetCounter("repl.flight.dumps")->Increment();
+  }
+}
+
 Result<std::string> ScriptRunner::RunLine(const std::string& line) {
   Result<std::string> out = RunCommand(line);
   // Keep the trace file valid after every traced statement, so scripts that
@@ -113,18 +174,28 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
 
   if (cmd == "eval" || cmd == "count") {
     BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    obs::JournalEntry entry = BeginJournalEntry(cmd, rest, e);
     uint64_t steps_before = evaluator_.stats().steps;
     uint64_t t0 = obs::MonotonicNowNs();
+    uint64_t cpu0 = obs::ThreadCpuNowNs();
     // Every statement runs governed: the session's \timeout / \memlimit
     // become this statement's budget, and the session token makes Ctrl-C
     // (or any cross-thread Cancel) a typed kCancelled instead of a dead
     // process. The governor lives on this stack frame only.
     cancel_.Reset();
     EvalGovernor governed(evaluator_, StatementGovernorOptions());
-    BAGALG_ASSIGN_OR_RETURN(Value v, evaluator_.Eval(e, db_));
+    Result<Value> vr = evaluator_.Eval(e, db_);
     uint64_t wall_ns = obs::MonotonicNowNs() - t0;
+    uint64_t cpu1 = obs::ThreadCpuNowNs();
     uint64_t steps = evaluator_.stats().steps - steps_before;
-    obs::GlobalMetrics().GetCounter("repl.statements")->Increment();
+    entry.wall_ns = wall_ns;
+    entry.cpu_ns = cpu1 >= cpu0 ? cpu1 - cpu0 : 0;
+    entry.steps = steps;
+    if (vr.ok() && vr->IsBag()) {
+      entry.result_distinct = uint64_t{vr->bag().DistinctCount()};
+    }
+    FinishStatement(entry, vr.status(), *governed.get());
+    BAGALG_ASSIGN_OR_RETURN(Value v, std::move(vr));
     obs::GlobalMetrics().GetCounter("repl.eval.steps")->Increment(steps);
     obs::GlobalMetrics().GetHistogram("repl.eval.wall_us")
         ->Observe(wall_ns / 1000);
@@ -149,7 +220,9 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
     // evaluator; with tracing on, per-operator open/next/close spans land in
     // the same trace as the evaluator's.
     BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    obs::JournalEntry entry = BeginJournalEntry(cmd, rest, e);
     uint64_t t0 = obs::MonotonicNowNs();
+    uint64_t cpu0 = obs::ThreadCpuNowNs();
     exec::ExecOptions options;
     options.tracer = tracer_.enabled() ? &tracer_ : nullptr;
     if (budget_.has_value()) {
@@ -158,9 +231,14 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
     cancel_.Reset();
     ResourceGovernor governor(StatementGovernorOptions());
     options.governor = &governor;
-    BAGALG_ASSIGN_OR_RETURN(Bag b, exec::RunPipeline(e, db_, options));
+    Result<Bag> br = exec::RunPipeline(e, db_, options);
     uint64_t wall_ns = obs::MonotonicNowNs() - t0;
-    obs::GlobalMetrics().GetCounter("repl.statements")->Increment();
+    uint64_t cpu1 = obs::ThreadCpuNowNs();
+    entry.wall_ns = wall_ns;
+    entry.cpu_ns = cpu1 >= cpu0 ? cpu1 - cpu0 : 0;
+    if (br.ok()) entry.result_distinct = uint64_t{br->DistinctCount()};
+    FinishStatement(entry, br.status(), governor);
+    BAGALG_ASSIGN_OR_RETURN(Bag b, std::move(br));
     std::string out = Value::FromBag(b).ToString();
     if (timing_) {
       std::ostringstream os;
@@ -289,31 +367,93 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
       return Status::ParseError("trace syntax: \\trace FILE | \\trace off");
     }
     if (rest == "off") {
-      tracer_.set_enabled(false);
-      evaluator_.set_tracer(nullptr);
-      if (!trace_path_.empty()) {
-        BAGALG_RETURN_IF_ERROR(
-            obs::WriteChromeTraceFile(tracer_, trace_path_));
-        std::string msg = "trace written to " + trace_path_ + " (" +
-                          std::to_string(tracer_.event_count()) + " events)";
-        trace_path_.clear();
-        return msg;
+      std::string path;
+      path.swap(trace_path_);
+      // Back to flight-only mode (or fully off if \flightrec off too).
+      SyncTracerMode();
+      if (!path.empty()) {
+        BAGALG_RETURN_IF_ERROR(obs::WriteChromeTraceFile(tracer_, path));
+        return "trace written to " + path + " (" +
+               std::to_string(tracer_.event_count()) + " events)";
       }
       return std::string("tracing off");
     }
     trace_path_ = rest;
     tracer_.Clear();
-    tracer_.set_enabled(true);
+    SyncTracerMode();
     // Write the (empty) trace now so an unwritable path fails loudly here
     // rather than silently at the per-statement flushes.
     Status st = obs::WriteChromeTraceFile(tracer_, trace_path_);
     if (!st.ok()) {
-      tracer_.set_enabled(false);
       trace_path_.clear();
+      SyncTracerMode();
       return st;
     }
-    evaluator_.set_tracer(&tracer_);
     return "tracing to " + trace_path_;
+  }
+
+  if (cmd == "\\journal") {
+    auto [sub, arg] = SplitCommand(rest);
+    if (sub == "export") {
+      if (arg.empty()) {
+        return Status::ParseError(
+            "journal syntax: \\journal [N] | \\journal export FILE");
+      }
+      BAGALG_RETURN_IF_ERROR(journal_.ExportJsonl(arg));
+      uint64_t retained =
+          std::min<uint64_t>(journal_.total(), journal_.capacity());
+      return "journal written to " + arg + " (" + std::to_string(retained) +
+             " entries)";
+    }
+    size_t n = 10;
+    if (!sub.empty()) {
+      auto parsed = BigNat::FromDecimal(sub);
+      Result<uint64_t> v = parsed.ok() ? parsed->ToUint64()
+                                       : Result<uint64_t>(parsed.status());
+      if (!v.ok() || *v == 0) {
+        return Status::ParseError(
+            "journal syntax: \\journal [N] | \\journal export FILE");
+      }
+      n = static_cast<size_t>(*v);
+    }
+    std::string out = journal_.ToString(n);
+    return out.empty() ? std::string("(journal empty)") : out;
+  }
+
+  if (cmd == "\\flightrec") {
+    if (rest == "on") {
+      flight_on_ = true;
+      SyncTracerMode();
+      return std::string("flight recorder on");
+    }
+    if (rest == "off") {
+      flight_on_ = false;
+      SyncTracerMode();
+      return std::string("flight recorder off");
+    }
+    if (rest == "dump") {
+      return obs::FormatFlightDump(flight_.Snapshot());
+    }
+    if (rest == "clear") {
+      flight_.Clear();
+      return std::string("flight recorder cleared");
+    }
+    return Status::ParseError(
+        "flightrec syntax: \\flightrec on|off|dump|clear");
+  }
+
+  if (cmd == "\\prom") {
+    std::string text = obs::GlobalMetrics().Snapshot().ToPrometheusText();
+    if (rest.empty()) {
+      if (!text.empty() && text.back() == '\n') text.pop_back();
+      return text.empty() ? std::string("(no metrics recorded)") : text;
+    }
+    std::ofstream file(rest, std::ios::trunc);
+    if (!file) return Status::InvalidArgument("cannot open " + rest);
+    file << text;
+    file.flush();
+    if (!file) return Status::InvalidArgument("failed writing " + rest);
+    return "metrics written to " + rest;
   }
 
   if (cmd == "fragment") {

@@ -45,6 +45,21 @@
 ///   \memlimit BYTES           cap each statement's accounted allocations;
 ///                             a tripped query returns ResourceExhausted
 ///   \memlimit off             clear the memory cap
+///   \journal [N]              print the last N (default 10) query-journal
+///                             entries; every eval/count/exec statement is
+///                             journaled — successes and failures alike
+///   \journal export FILE      write the retained journal entries to FILE
+///                             as JSONL (schema: docs/OBSERVABILITY.md)
+///   \flightrec on|off         toggle the span flight recorder (on by
+///                             default); with it on, a statement that trips
+///                             a governor limit or injected fault leaves a
+///                             last-K-spans dump behind (see
+///                             TakeFlightDump / the repl binary)
+///   \flightrec dump           print the flight-recorder ring right now
+///   \flightrec clear          empty the flight-recorder ring
+///   \prom [FILE]              Prometheus text exposition of the global
+///                             metrics registry (printed, or written to
+///                             FILE)
 
 #include <optional>
 #include <string>
@@ -52,6 +67,8 @@
 #include "src/algebra/database.h"
 #include "src/algebra/eval.h"
 #include "src/analysis/static_cost.h"
+#include "src/obs/flight.h"
+#include "src/obs/journal.h"
 #include "src/obs/trace.h"
 #include "src/util/governor.h"
 #include "src/util/result.h"
@@ -61,8 +78,7 @@ namespace bagalg::lang {
 /// Stateful script interpreter. Not thread-safe.
 class ScriptRunner {
  public:
-  explicit ScriptRunner(Limits limits = Limits::Default())
-      : evaluator_(limits), tracer_(/*enabled=*/false) {}
+  explicit ScriptRunner(Limits limits = Limits::Default());
 
   /// Executes one line; returns its printable output (possibly empty).
   Result<std::string> RunLine(const std::string& line);
@@ -79,6 +95,25 @@ class ScriptRunner {
 
   /// The runner's tracer (enabled/cleared by the \trace command).
   const obs::Tracer& tracer() const { return tracer_; }
+
+  /// The session's query journal (one entry per eval/count/exec statement).
+  const obs::QueryJournal& journal() const { return journal_; }
+
+  /// The session's span flight recorder (fed by the tracer whenever
+  /// \flightrec is on, which is the default).
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+
+  /// When the last statement tripped a governor limit (deadline, memcap,
+  /// cancellation, injected fault), this holds the flight-recorder dump
+  /// captured at the abort — the last-K-spans context including the
+  /// aborting span's ancestry. Returns it and clears it; empty when the
+  /// last statement did not trip. The repl binary prints this after the
+  /// error message.
+  std::string TakeFlightDump() {
+    std::string dump;
+    dump.swap(last_flight_dump_);
+    return dump;
+  }
 
   /// The active admission budget (set/cleared by the \budget command).
   const std::optional<analysis::CostBudget>& budget() const {
@@ -102,10 +137,29 @@ class ScriptRunner {
   /// \memlimit, and cancellation token.
   GovernorOptions StatementGovernorOptions();
 
+  /// Journal-entry scaffold for an eval/count/exec statement: statement
+  /// text/hash plus the static analyzer's verdict when it is derivable.
+  obs::JournalEntry BeginJournalEntry(const std::string& kind,
+                                      const std::string& statement,
+                                      const Expr& expr);
+
+  /// Stamps the outcome (from the governor's trip kind and the Status),
+  /// appends the entry, and on a governor trip captures the flight dump
+  /// into last_flight_dump_.
+  void FinishStatement(obs::JournalEntry& entry, const Status& status,
+                       const ResourceGovernor& governor);
+
+  /// Re-derives tracer_ enabled/buffering from trace_path_ / flight_on_.
+  void SyncTracerMode();
+
   Database db_;
   Evaluator evaluator_;
   obs::Tracer tracer_;
+  obs::FlightRecorder flight_;
+  obs::QueryJournal journal_;
   std::string trace_path_;
+  std::string last_flight_dump_;
+  bool flight_on_ = true;
   bool timing_ = false;
   std::optional<analysis::CostBudget> budget_;
   uint64_t timeout_ms_ = 0;

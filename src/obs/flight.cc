@@ -1,0 +1,98 @@
+#include "src/obs/flight.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace bagalg::obs {
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(std::make_unique<Slot[]>(capacity == 0 ? 1 : capacity)) {}
+
+void FlightRecorder::Record(const TraceEvent& event) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % capacity_];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  FlightRecord& r = slot.record;
+  r.seq = seq + 1;
+  r.id = event.id;
+  r.parent_id = event.parent_id;
+  r.depth = event.depth;
+  r.tid = event.tid;
+  r.start_ns = event.start_ns;
+  r.wall_ns = event.wall_ns;
+  r.name = event.name;
+  r.category = event.category;
+  r.error.clear();
+  for (const auto& [name, value] : event.attrs) {
+    if (name != "error") continue;
+    if (const auto* s = std::get_if<std::string>(&value)) r.error = *s;
+  }
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::vector<FlightRecord> out;
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.record.seq != 0) out.push_back(slot.record);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  for (size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = slots_[i];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.record = FlightRecord();
+  }
+}
+
+std::string FormatFlightDump(const std::vector<FlightRecord>& records) {
+  if (records.empty()) return "flight recorder: empty";
+  std::ostringstream os;
+  os << "flight recorder (" << records.size()
+     << " retained spans, oldest first):\n";
+  for (const FlightRecord& r : records) {
+    os << "  #" << r.seq << " " << r.name;
+    if (!r.category.empty()) os << " (" << r.category << ")";
+    os << " id=" << r.id << " parent=" << r.parent_id
+       << " depth=" << r.depth
+       << " wall_us=" << static_cast<double>(r.wall_ns) / 1000.0;
+    if (!r.error.empty()) os << " error=\"" << r.error << "\"";
+    os << "\n";
+  }
+  // Ancestry of the aborting span: prefer the most recent errored span —
+  // spans record as the abort unwinds, so the deepest errored span of the
+  // statement is in the ring even after teardown.
+  std::map<uint64_t, const FlightRecord*> by_id;
+  for (const FlightRecord& r : records) by_id[r.id] = &r;
+  const FlightRecord* aborting = nullptr;
+  for (const FlightRecord& r : records) {
+    if (!r.error.empty()) aborting = &r;  // records are oldest-first
+  }
+  if (aborting == nullptr) aborting = &records.back();
+  std::vector<const FlightRecord*> chain;
+  for (const FlightRecord* r = aborting; r != nullptr;) {
+    chain.push_back(r);
+    auto it = by_id.find(r->parent_id);
+    // Guard against parent cycles from id reuse across ring wraps.
+    r = it == by_id.end() || chain.size() > by_id.size() ? nullptr
+                                                         : it->second;
+  }
+  os << "aborting span ancestry (root -> leaf):\n  ";
+  for (size_t i = chain.size(); i-- > 0;) {
+    os << chain[i]->name;
+    if (i != 0) os << " -> ";
+  }
+  return os.str();
+}
+
+}  // namespace bagalg::obs

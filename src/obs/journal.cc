@@ -1,0 +1,108 @@
+#include "src/obs/journal.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "src/obs/json.h"
+
+namespace bagalg::obs {
+
+uint64_t HashStatementText(std::string_view text) {
+  uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+std::string JournalEntry::ToJsonLine() const {
+  std::ostringstream os;
+  // The hash is emitted as a hex string: a raw uint64 can exceed 2^53 and
+  // lose precision in JSON consumers that parse numbers as doubles.
+  os << "{\"seq\":" << seq << ",\"kind\":" << JsonQuote(kind)
+     << ",\"statement_hash\":\"" << std::hex << std::setw(16)
+     << std::setfill('0') << statement_hash << std::dec << "\""
+     << ",\"statement\":" << JsonQuote(statement)
+     << ",\"tractability\":" << JsonQuote(tractability)
+     << ",\"cost_bound\":" << JsonQuote(cost_bound)
+     << ",\"wall_ns\":" << wall_ns << ",\"cpu_ns\":" << cpu_ns
+     << ",\"steps\":" << steps
+     << ",\"result_distinct\":" << result_distinct
+     << ",\"bytes_accounted\":" << bytes_accounted
+     << ",\"outcome\":" << JsonQuote(outcome)
+     << ",\"status\":" << JsonQuote(status_message) << "}";
+  return os.str();
+}
+
+QueryJournal::QueryJournal(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  entries_.resize(capacity_);
+}
+
+uint64_t QueryJournal::Append(JournalEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.seq = next_seq_++;
+  const uint64_t seq = entry.seq;
+  entries_[seq % capacity_] = std::move(entry);
+  return seq;
+}
+
+std::vector<JournalEntry> QueryJournal::Tail(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t newest = next_seq_ - 1;
+  const uint64_t retained =
+      newest < capacity_ ? newest : static_cast<uint64_t>(capacity_);
+  uint64_t take = n < retained ? n : retained;
+  std::vector<JournalEntry> out;
+  out.reserve(take);
+  for (uint64_t seq = newest - take + 1; seq <= newest; ++seq) {
+    out.push_back(entries_[seq % capacity_]);
+  }
+  return out;
+}
+
+uint64_t QueryJournal::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+Status QueryJournal::ExportJsonl(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open journal file " + path);
+  }
+  for (const JournalEntry& e : Tail(capacity_)) {
+    file << e.ToJsonLine() << "\n";
+  }
+  file.flush();
+  if (!file) {
+    return Status::InvalidArgument("failed writing journal file " + path);
+  }
+  return Status::Ok();
+}
+
+std::string QueryJournal::ToString(size_t n) const {
+  std::vector<JournalEntry> tail = Tail(n);
+  if (tail.empty()) return "(journal empty)";
+  std::ostringstream os;
+  for (size_t i = 0; i < tail.size(); ++i) {
+    const JournalEntry& e = tail[i];
+    if (i > 0) os << "\n";
+    os << "#" << e.seq << " " << e.kind << " outcome=" << e.outcome
+       << " wall_ms=" << static_cast<double>(e.wall_ns) / 1e6
+       << " distinct=" << e.result_distinct
+       << " bytes=" << e.bytes_accounted;
+    if (!e.tractability.empty()) {
+      os << " tract=" << e.tractability << " bound=\"" << e.cost_bound
+         << "\"";
+    }
+    std::string stmt = e.statement;
+    if (stmt.size() > 48) stmt = stmt.substr(0, 45) + "...";
+    os << " :: " << stmt;
+  }
+  return os.str();
+}
+
+}  // namespace bagalg::obs

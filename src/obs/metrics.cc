@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <sstream>
 
 #include "src/obs/json.h"
@@ -27,6 +28,41 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+uint64_t HistogramBucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (!(q >= 0.0)) q = 0.0;  // also maps NaN to 0
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based: the smallest r >= q*count,
+  // with r >= 1 so q=0 lands on the first observation.
+  double target = q * static_cast<double>(count);
+  if (target < 1.0) target = 1.0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate across the bucket's value range; the top is capped at
+      // the recorded max so estimates never exceed an observed value.
+      double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      double hi =
+          i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i)) - 1.0;
+      if (hi > static_cast<double>(max)) hi = static_cast<double>(max);
+      if (lo > hi) lo = hi;
+      const double fraction = (target - static_cast<double>(cumulative)) /
+                              static_cast<double>(in_bucket);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max);
 }
 
 void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
@@ -85,11 +121,56 @@ std::string MetricsSnapshot::ToString() const {
   }
   for (const auto& [name, h] : histograms) {
     os << name << ": count=" << h.count << " sum=" << h.sum
-       << " max=" << h.max << " mean=" << h.Mean() << "\n";
+       << " max=" << h.max << " mean=" << h.Mean()
+       << " p50=" << h.Percentile(0.50) << " p95=" << h.Percentile(0.95)
+       << " p99=" << h.Percentile(0.99) << "\n";
   }
   std::string out = os.str();
   if (!out.empty()) out.pop_back();
   return out;
+}
+
+namespace {
+
+/// "repl.eval.wall_us" -> "bagalg_repl_eval_wall_us": the bagalg_ prefix
+/// namespaces the exposition, and every character outside the Prometheus
+/// metric-name alphabet becomes '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "bagalg_";
+  for (char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    const std::string prom = PrometheusName(name) + "_total";
+    os << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << prom << "_bucket{le=\"" << HistogramBucketUpperBound(i)
+         << "\"} " << cumulative << "\n";
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+       << prom << "_sum " << h.sum << "\n"
+       << prom << "_count " << h.count << "\n";
+  }
+  return os.str();
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
@@ -153,29 +234,32 @@ MetricsRegistry& GlobalMetrics() {
 }
 
 void MirrorGovernorStats() {
-  // Gauges set to cumulative process-wide values: same convention as the
-  // kernel pool mirrors in bag_ops.cc. Static pointers keep repeated
-  // mirroring lock-free after the first lookup.
-  static Gauge* const deadline =
-      GlobalMetrics().GetGauge("governor.deadline.trips");
-  static Gauge* const memcap = GlobalMetrics().GetGauge("governor.memcap.trips");
-  static Gauge* const cancel = GlobalMetrics().GetGauge("governor.cancel.trips");
-  static Gauge* const fault_trips =
-      GlobalMetrics().GetGauge("governor.fault.trips");
-  static Gauge* const checkpoints =
-      GlobalMetrics().GetGauge("governor.checkpoints");
-  static Gauge* const bytes =
-      GlobalMetrics().GetGauge("governor.bytes_accounted");
-  static Gauge* const fault_events =
-      GlobalMetrics().GetGauge("governor.fault.events");
+  // Counters raised to the cumulative process-wide totals: the sources are
+  // monotone, and RaiseTo keeps concurrent mirrors monotone too, so the
+  // Prometheus exposition can type them as counters. Static pointers keep
+  // repeated mirroring lock-free after the first lookup.
+  static Counter* const deadline =
+      GlobalMetrics().GetCounter("governor.deadline.trips");
+  static Counter* const memcap =
+      GlobalMetrics().GetCounter("governor.memcap.trips");
+  static Counter* const cancel =
+      GlobalMetrics().GetCounter("governor.cancel.trips");
+  static Counter* const fault_trips =
+      GlobalMetrics().GetCounter("governor.fault.trips");
+  static Counter* const checkpoints =
+      GlobalMetrics().GetCounter("governor.checkpoints");
+  static Counter* const bytes =
+      GlobalMetrics().GetCounter("governor.bytes_accounted");
+  static Counter* const fault_events =
+      GlobalMetrics().GetCounter("governor.fault.events");
   const GovernorStats stats = ResourceGovernor::Stats();
-  deadline->Set(static_cast<int64_t>(stats.deadline_trips));
-  memcap->Set(static_cast<int64_t>(stats.memcap_trips));
-  cancel->Set(static_cast<int64_t>(stats.cancel_trips));
-  fault_trips->Set(static_cast<int64_t>(stats.fault_trips));
-  checkpoints->Set(static_cast<int64_t>(stats.checkpoints));
-  bytes->Set(static_cast<int64_t>(stats.bytes_accounted));
-  fault_events->Set(static_cast<int64_t>(fault::EventCount()));
+  deadline->RaiseTo(stats.deadline_trips);
+  memcap->RaiseTo(stats.memcap_trips);
+  cancel->RaiseTo(stats.cancel_trips);
+  fault_trips->RaiseTo(stats.fault_trips);
+  checkpoints->RaiseTo(stats.checkpoints);
+  bytes->RaiseTo(stats.bytes_accounted);
+  fault_events->RaiseTo(fault::EventCount());
 }
 
 }  // namespace bagalg::obs

@@ -29,6 +29,17 @@ class Counter {
   void Increment(uint64_t delta = 1) {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
+  /// Raises the counter to `target` if it is currently below it (CAS max).
+  /// This is how external cumulative totals (GovernorStats, ParallelStats)
+  /// are mirrored as counters: concurrent mirrors with stale snapshots can
+  /// never move the value backwards, preserving monotonicity.
+  void RaiseTo(uint64_t target) {
+    uint64_t seen = value_.load(std::memory_order_relaxed);
+    while (seen < target &&
+           !value_.compare_exchange_weak(seen, target,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -83,7 +94,21 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Estimates the q-quantile (q in [0,1], clamped) by locating the bucket
+  /// containing the ceil(q*count)-th observation and interpolating linearly
+  /// across that bucket's value range [2^(i-1), 2^i - 1] (bucket 0 is the
+  /// single value 0). The top of the crossing bucket is capped at the
+  /// recorded max, so Percentile(1.0) returns max exactly and a
+  /// single-observation histogram returns that observation for every q.
+  /// Returns 0 for an empty histogram.
+  double Percentile(double q) const;
 };
+
+/// Inclusive upper bound of pow-2 histogram bucket i (the largest value
+/// whose bit-width is i): 0 for bucket 0, 2^i - 1 otherwise. These are the
+/// `le` labels of the Prometheus exposition.
+uint64_t HistogramBucketUpperBound(size_t i);
 
 /// Point-in-time copy of a whole registry. Mergeable: counters and
 /// histograms add; gauges add too (the shard-aggregation reading).
@@ -98,6 +123,13 @@ struct MetricsSnapshot {
   std::string ToJson() const;
   /// Human-readable flat dump, one instrument per line, sorted by name.
   std::string ToString() const;
+  /// Prometheus text exposition format (version 0.0.4): every instrument
+  /// emitted with a `# TYPE` line and a `bagalg_`-prefixed sanitized name;
+  /// counters get the `_total` suffix, histograms expand into cumulative
+  /// `_bucket{le="..."}` series (le-labels from the pow-2 bucket bounds,
+  /// `+Inf` included) plus `_sum` and `_count`. The future `bagalgd`
+  /// `/metrics` endpoint serves exactly this string.
+  std::string ToPrometheusText() const;
 };
 
 /// Thread-safe instrument registry. Returned pointers remain valid for the
@@ -124,12 +156,15 @@ class MetricsRegistry {
 /// The process-wide registry used by the rewriter, exec engine, and REPL.
 MetricsRegistry& GlobalMetrics();
 
-/// Copies the cumulative ResourceGovernor and fault-injection counters into
-/// GlobalMetrics() gauges (`governor.deadline.trips`, `governor.memcap.trips`,
-/// `governor.cancel.trips`, `governor.fault.trips`, `governor.checkpoints`,
-/// `governor.bytes_accounted`, `governor.fault.events`). Called by the query
-/// drivers (eval, exec, REPL) and kernel scopes after governed work; cheap
-/// enough to call unconditionally but skipped on ungoverned hot paths.
+/// Mirrors the cumulative ResourceGovernor and fault-injection totals into
+/// GlobalMetrics() *counters* (`governor.deadline.trips`,
+/// `governor.memcap.trips`, `governor.cancel.trips`, `governor.fault.trips`,
+/// `governor.checkpoints`, `governor.bytes_accounted`,
+/// `governor.fault.events`) via Counter::RaiseTo — they are monotone
+/// process-wide totals, which is what Prometheus counter typing requires.
+/// Called by the query drivers (eval, exec, REPL) and kernel scopes after
+/// governed work; cheap enough to call unconditionally but skipped on
+/// ungoverned hot paths.
 void MirrorGovernorStats();
 
 }  // namespace bagalg::obs

@@ -6,7 +6,9 @@
 #include <fstream>
 #include <thread>
 
+#include "src/obs/flight.h"
 #include "src/obs/json.h"
+#include "src/util/parallel.h"
 
 #if defined(__linux__) || defined(__APPLE__)
 #include <time.h>
@@ -16,15 +18,71 @@ namespace bagalg::obs {
 
 namespace {
 
-/// Per-thread open-span depth. Shared across tracers: a thread realistically
-/// reports into one tracer at a time, and depth is only a rendering aid.
-thread_local uint32_t tls_depth = 0;
+/// The ambient context new spans inherit. Shared across tracers: a thread
+/// realistically reports into one tracer at a time, and the parent link is
+/// an attribution aid, not ownership.
+thread_local TraceContext tls_context;
+
+/// Process-wide span id allocator; 0 is reserved for "no parent".
+std::atomic<uint64_t> g_next_span_id{1};
 
 uint64_t CurrentTid() {
   return std::hash<std::thread::id>{}(std::this_thread::get_id());
 }
 
+// ---- thread-pool propagation (see BatchContextHooks in util/parallel.h).
+// Capture the dispatcher's ambient context once per batch; each worker
+// installs it around its share of the tasks, so chunk spans opened inside
+// pool tasks parent to the kernel span that dispatched them.
+
+void* CaptureBatchTraceContext() {
+  if (tls_context.tracer == nullptr) return nullptr;
+  return new TraceContext(tls_context);
+}
+
+void* EnterBatchTraceContext(void* captured) {
+  auto* token = new TraceContext(tls_context);
+  tls_context = *static_cast<const TraceContext*>(captured);
+  return token;
+}
+
+void ExitBatchTraceContext(void* token) {
+  auto* previous = static_cast<TraceContext*>(token);
+  tls_context = *previous;
+  delete previous;
+}
+
+void ReleaseBatchTraceContext(void* captured) {
+  delete static_cast<TraceContext*>(captured);
+}
+
+[[maybe_unused]] const bool g_batch_hooks_registered = [] {
+  BatchContextHooks hooks;
+  hooks.capture = &CaptureBatchTraceContext;
+  hooks.enter = &EnterBatchTraceContext;
+  hooks.exit = &ExitBatchTraceContext;
+  hooks.release = &ReleaseBatchTraceContext;
+  SetBatchContextHooks(hooks);
+  return true;
+}();
+
 }  // namespace
+
+TraceContext CurrentTraceContext() { return tls_context; }
+
+TraceContextScope::TraceContextScope(const TraceContext& context)
+    : previous_(tls_context) {
+  tls_context = context;
+}
+
+TraceContextScope::~TraceContextScope() { tls_context = previous_; }
+
+Span StartAmbientSpan(std::string_view name, std::string_view category) {
+  Tracer* tracer = tls_context.tracer;
+  if (tracer == nullptr) tracer = GlobalTracerIfEnabled();
+  if (tracer == nullptr) return Span();
+  return tracer->StartSpan(name, category);
+}
 
 uint64_t MonotonicNowNs() {
   return static_cast<uint64_t>(
@@ -51,7 +109,11 @@ Span::Span(Tracer* tracer, std::string_view name, std::string_view category)
   event_.name.assign(name);
   event_.category.assign(category);
   event_.tid = CurrentTid();
-  event_.depth = tls_depth++;
+  event_.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  event_.parent_id = tls_context.parent_span_id;
+  event_.depth = tls_context.depth;
+  previous_context_ = tls_context;
+  tls_context = TraceContext{tracer, event_.id, event_.depth + 1};
   cpu_start_ns_ = ThreadCpuNowNs();
   wall_start_ns_ = MonotonicNowNs();
   event_.start_ns = wall_start_ns_;  // rebased to the tracer epoch in End()
@@ -60,6 +122,7 @@ Span::Span(Tracer* tracer, std::string_view name, std::string_view category)
 Span::Span(Span&& other) noexcept
     : tracer_(other.tracer_),
       event_(std::move(other.event_)),
+      previous_context_(other.previous_context_),
       wall_start_ns_(other.wall_start_ns_),
       cpu_start_ns_(other.cpu_start_ns_) {
   other.tracer_ = nullptr;
@@ -70,6 +133,7 @@ Span& Span::operator=(Span&& other) noexcept {
   End();
   tracer_ = other.tracer_;
   event_ = std::move(other.event_);
+  previous_context_ = other.previous_context_;
   wall_start_ns_ = other.wall_start_ns_;
   cpu_start_ns_ = other.cpu_start_ns_;
   other.tracer_ = nullptr;
@@ -101,7 +165,12 @@ void Span::End() {
   if (tracer_ == nullptr) return;
   Tracer* tracer = tracer_;
   tracer_ = nullptr;
-  if (tls_depth > 0) --tls_depth;
+  // Restore the ambient context only if this span is still the innermost
+  // one; out-of-order ends (an operator span closed while a sibling stays
+  // open) leave the context with the span that is actually innermost.
+  if (tls_context.parent_span_id == event_.id) {
+    tls_context = previous_context_;
+  }
   uint64_t wall_end = MonotonicNowNs();
   uint64_t cpu_end = ThreadCpuNowNs();
   event_.wall_ns = wall_end - wall_start_ns_;
@@ -123,8 +192,13 @@ Span Tracer::StartSpan(std::string_view name, std::string_view category) {
 }
 
 void Tracer::Record(TraceEvent event) {
+  if (FlightRecorder* flight = flight_.load(std::memory_order_acquire)) {
+    flight->Record(event);
+  }
+  if (!buffering_.load(std::memory_order_relaxed)) return;
+  const size_t cap = max_events_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
-  if (events_.size() >= max_events_) {
+  if (events_.size() >= cap) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -188,7 +262,8 @@ void WriteChromeTrace(const std::vector<TraceEvent>& events,
     WriteJsonNumber(os, static_cast<double>(e.wall_ns) / 1000.0);
     os << ",\"args\":{\"cpu_us\":";
     WriteJsonNumber(os, static_cast<double>(e.cpu_ns) / 1000.0);
-    os << ",\"depth\":" << e.depth;
+    os << ",\"depth\":" << e.depth << ",\"id\":" << e.id
+       << ",\"parent\":" << e.parent_id;
     for (const auto& [name, value] : e.attrs) {
       os << "," << JsonQuote(name) << ":";
       WriteAttrValue(os, value);

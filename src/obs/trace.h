@@ -16,6 +16,14 @@
 /// WriteChromeTrace, so evaluator node applications, fixpoint iterations,
 /// and exec operator lifecycles render as a nested flame graph.
 ///
+/// Every span carries a process-unique id and the id of the innermost span
+/// open when it started (its parent). The parent link comes from a
+/// thread-local TraceContext that spans maintain automatically; the thread
+/// pool propagates the dispatching caller's context onto its workers (via
+/// the BatchContextHooks registered with util/parallel), so chunk spans
+/// recorded on worker threads parent to the kernel span that dispatched
+/// them instead of showing up as orphaned roots.
+///
 /// Thread safety: Tracer is internally synchronized (spans from multiple
 /// threads interleave safely); a Span itself must stay on one thread.
 
@@ -46,6 +54,10 @@ using AttrValue = std::variant<int64_t, uint64_t, double, std::string>;
 struct TraceEvent {
   std::string name;
   std::string category;
+  /// Process-unique span id (1-based; 0 never assigned).
+  uint64_t id = 0;
+  /// Id of the innermost span open when this one started; 0 = root.
+  uint64_t parent_id = 0;
   /// Start, nanoseconds since the tracer's epoch.
   uint64_t start_ns = 0;
   /// Wall-clock duration.
@@ -54,12 +66,38 @@ struct TraceEvent {
   uint64_t cpu_ns = 0;
   /// Thread the span ran on.
   uint64_t tid = 0;
-  /// Nesting depth at open time (0 = outermost open span on the thread).
+  /// Nesting depth at open time (0 = a root span).
   uint32_t depth = 0;
   std::vector<std::pair<std::string, AttrValue>> attrs;
 };
 
 class Tracer;
+
+/// What a new span on this thread inherits: the tracer the enclosing span
+/// reports to, the enclosing span's id, and the nesting depth. Default
+/// (tracer == nullptr) means "no enclosing span".
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  uint64_t parent_span_id = 0;
+  uint32_t depth = 0;
+};
+
+/// The ambient context of the calling thread.
+TraceContext CurrentTraceContext();
+
+/// RAII installer for the ambient context — what the thread pool uses (via
+/// the BatchContextHooks registered in trace.cc) to re-parent worker-thread
+/// spans under the dispatching caller's open span.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& context);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext previous_;
+};
 
 /// RAII handle for one open span. Inactive (default-constructed or from a
 /// disabled tracer) spans ignore all calls. Records into the tracer on End()
@@ -74,6 +112,9 @@ class Span {
   ~Span() { End(); }
 
   bool active() const { return tracer_ != nullptr; }
+
+  /// The span's process-unique id (0 when inactive).
+  uint64_t id() const { return event_.id; }
 
   /// Attaches a typed attribute (kept in insertion order).
   void AddAttr(std::string_view name, uint64_t value);
@@ -90,9 +131,21 @@ class Span {
 
   Tracer* tracer_ = nullptr;
   TraceEvent event_;
+  /// Ambient context to restore when this span ends (LIFO case); ends out
+  /// of order leave the context to the still-open inner span.
+  TraceContext previous_context_;
   uint64_t wall_start_ns_ = 0;
   uint64_t cpu_start_ns_ = 0;
 };
+
+/// Opens a span on the ambient context's tracer — the tracer of the
+/// innermost open span on this thread (however it got here: lexical
+/// nesting or pool propagation) — falling back to the global tracer.
+/// Inactive when neither is enabled. This is how the kernels trace: they
+/// land in whichever trace the query driver is collecting.
+Span StartAmbientSpan(std::string_view name, std::string_view category = "");
+
+class FlightRecorder;
 
 /// Collects spans. Construction chooses the initial enabled state; a
 /// disabled tracer hands out inactive spans.
@@ -122,18 +175,45 @@ class Tracer {
   void Clear();
 
   /// Caps the event buffer (default 1M events); further spans are counted
-  /// in dropped_count() but not stored.
-  void set_max_events(size_t n) { max_events_ = n; }
+  /// in dropped_count() but not stored. Safe to call while spans record
+  /// concurrently (the cap is atomic; Record reads it once per event).
+  void set_max_events(size_t n) {
+    max_events_.store(n, std::memory_order_relaxed);
+  }
+  size_t max_events() const {
+    return max_events_.load(std::memory_order_relaxed);
+  }
+
+  /// Mirrors every finished span into `recorder` (nullptr detaches). The
+  /// recorder must outlive the tracer or be detached first.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_.store(recorder, std::memory_order_release);
+  }
+  FlightRecorder* flight_recorder() const {
+    return flight_.load(std::memory_order_acquire);
+  }
+
+  /// With buffering off, finished spans still feed the flight recorder but
+  /// are not accumulated in the event buffer — the always-on black-box
+  /// mode: bounded memory, no per-statement Clear() needed.
+  void set_buffering(bool on) {
+    buffering_.store(on, std::memory_order_relaxed);
+  }
+  bool buffering() const {
+    return buffering_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Span;
   void Record(TraceEvent event);
 
   std::atomic<bool> enabled_;
+  std::atomic<bool> buffering_{true};
   const uint64_t epoch_ns_;
+  std::atomic<FlightRecorder*> flight_{nullptr};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
-  size_t max_events_ = 1u << 20;
+  std::atomic<size_t> max_events_{size_t{1} << 20};
   std::atomic<uint64_t> dropped_{0};
 };
 

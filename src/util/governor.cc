@@ -26,7 +26,24 @@ ResourceGovernor::ResourceGovernor(const GovernorOptions& options)
       memory_limit_bytes_(options.memory_limit_bytes),
       cancel_(options.cancel) {}
 
-Status ResourceGovernor::Trip(Status status, std::atomic<uint64_t>& counter) {
+const char* TripKindName(TripKind kind) {
+  switch (kind) {
+    case TripKind::kNone:
+      return "none";
+    case TripKind::kDeadline:
+      return "deadline";
+    case TripKind::kMemcap:
+      return "memcap";
+    case TripKind::kCancel:
+      return "cancel";
+    case TripKind::kFault:
+      return "fault";
+  }
+  return "none";
+}
+
+Status ResourceGovernor::Trip(Status status, std::atomic<uint64_t>& counter,
+                              TripKind kind) {
   std::lock_guard<std::mutex> lock(trip_mu_);
   // First trip wins: a deadline trip on one pool worker and a memcap trip
   // on another must surface as one coherent error, and re-checks after the
@@ -34,6 +51,7 @@ Status ResourceGovernor::Trip(Status status, std::atomic<uint64_t>& counter) {
   if (!tripped_.load(std::memory_order_relaxed)) {
     counter.fetch_add(1, std::memory_order_relaxed);
     trip_status_ = std::move(status);
+    trip_kind_.store(kind, std::memory_order_release);
     tripped_.store(true, std::memory_order_release);
   }
   return trip_status_;
@@ -47,15 +65,16 @@ Status ResourceGovernor::Check() {
   }
   if (fault::ShouldFailCheckpoint()) {
     return Trip(Status::Cancelled("fault injection: checkpoint trip"),
-                g_fault_trips);
+                g_fault_trips, TripKind::kFault);
   }
   if (alloc_fault_.load(std::memory_order_relaxed)) {
     return Trip(
         Status::ResourceExhausted("fault injection: allocation failure"),
-        g_fault_trips);
+        g_fault_trips, TripKind::kFault);
   }
   if (cancel_.cancelled()) {
-    return Trip(Status::Cancelled("query cancelled"), g_cancel_trips);
+    return Trip(Status::Cancelled("query cancelled"), g_cancel_trips,
+                TripKind::kCancel);
   }
   if (memory_limit_bytes_ != 0) {
     const uint64_t bytes = bytes_.load(std::memory_order_relaxed);
@@ -64,13 +83,13 @@ Status ResourceGovernor::Check() {
           Status::ResourceExhausted("memory limit exceeded: accounted " +
                                     std::to_string(bytes) + " bytes > cap " +
                                     std::to_string(memory_limit_bytes_)),
-          g_memcap_trips);
+          g_memcap_trips, TripKind::kMemcap);
     }
   }
   if (deadline_ != std::chrono::steady_clock::time_point::max() &&
       std::chrono::steady_clock::now() >= deadline_) {
     return Trip(Status::DeadlineExceeded("wall-clock deadline exceeded"),
-                g_deadline_trips);
+                g_deadline_trips, TripKind::kDeadline);
   }
   return Status::Ok();
 }

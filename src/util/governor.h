@@ -102,6 +102,22 @@ struct GovernorStats {
   uint64_t bytes_accounted = 0;
 };
 
+/// Which limit a governor tripped on. The distinction matters to operators
+/// reading a query journal: kMemcap and a fault-injected allocation failure
+/// both surface as kResourceExhausted Status codes, and kCancel covers both
+/// a user's Ctrl-C and a fault-injected checkpoint trip — the kind
+/// disambiguates them.
+enum class TripKind {
+  kNone = 0,
+  kDeadline,
+  kMemcap,
+  kCancel,
+  kFault,
+};
+
+/// Human-readable name ("none", "deadline", "memcap", "cancel", "fault").
+const char* TripKindName(TripKind kind);
+
 /// The per-query governor. Construct one per statement, install it with a
 /// GovernorScope for the duration of evaluation, and let checkpoints do the
 /// rest. Thread-safe: pool workers under the same scope share the instance.
@@ -136,11 +152,16 @@ class ResourceGovernor {
   /// subsequent Check() returns.
   bool tripped() const { return tripped_.load(std::memory_order_acquire); }
 
+  /// Which limit tripped first (kNone while running / after a clean run).
+  TripKind trip_kind() const {
+    return trip_kind_.load(std::memory_order_acquire);
+  }
+
   /// Process-wide cumulative counters across all governors.
   static GovernorStats Stats();
 
  private:
-  Status Trip(Status status, std::atomic<uint64_t>& counter);
+  Status Trip(Status status, std::atomic<uint64_t>& counter, TripKind kind);
 
   /// Absolute steady-clock deadline; time_point::max() when no wall limit.
   std::chrono::steady_clock::time_point deadline_;
@@ -152,6 +173,7 @@ class ResourceGovernor {
   /// next Check so the trip surfaces through the normal checkpoint channel.
   std::atomic<bool> alloc_fault_{false};
   std::atomic<bool> tripped_{false};
+  std::atomic<TripKind> trip_kind_{TripKind::kNone};
   std::mutex trip_mu_;
   Status trip_status_;
 };

@@ -40,7 +40,19 @@ std::mutex g_global_mu;
 std::unique_ptr<ThreadPool> g_global_pool;          // guarded by g_global_mu
 std::atomic<ThreadPool*> g_global_pool_ptr{nullptr};  // lock-free fast read
 
+// Registered ambient-context hooks. Static storage + atomic pointer: the
+// pointer is zero-initialized before any dynamic initialization runs, so a
+// registrar object in another translation unit can install hooks safely no
+// matter the TU initialization order.
+BatchContextHooks g_batch_hooks_storage;
+std::atomic<const BatchContextHooks*> g_batch_hooks{nullptr};
+
 }  // namespace
+
+void SetBatchContextHooks(const BatchContextHooks& hooks) {
+  g_batch_hooks_storage = hooks;
+  g_batch_hooks.store(&g_batch_hooks_storage, std::memory_order_release);
+}
 
 struct ThreadPool::Impl {
   std::mutex mu;
@@ -55,6 +67,10 @@ struct ThreadPool::Impl {
   // for the batch's duration so kernel checkpoints inside pool tasks see
   // the same per-query budget as the caller.
   ResourceGovernor* governor = nullptr;
+  // The caller's captured ambient context (opaque; owned by Run) plus the
+  // hooks to install it with, null when there is nothing to propagate.
+  const BatchContextHooks* hooks = nullptr;
+  void* context = nullptr;
   size_t total = 0;
   std::atomic<size_t> next{0};
   size_t finished = 0;
@@ -72,17 +88,30 @@ struct ThreadPool::Impl {
       seen = generation;
       const std::function<void(size_t)>* batch_task = task;
       ResourceGovernor* batch_governor = governor;
+      const BatchContextHooks* batch_hooks = hooks;
+      void* batch_context = context;
       const size_t batch_total = total;
       lock.unlock();
       size_t done_here = 0;
       {
         GovernorScope scope(batch_governor);
+        // Enter the propagated context lazily, on the first claimed task: a
+        // straggler that wakes after the batch drained must not touch
+        // `batch_context` (Run may have released it already), and Run cannot
+        // finish while a task this worker claimed is still incomplete.
+        void* token = nullptr;
+        bool entered = false;
         while (true) {
           size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= batch_total) break;
+          if (batch_hooks != nullptr && !entered) {
+            token = batch_hooks->enter(batch_context);
+            entered = true;
+          }
           (*batch_task)(i);
           ++done_here;
         }
+        if (entered) batch_hooks->exit(token);
       }
       lock.lock();
       finished += done_here;
@@ -155,10 +184,18 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& task) {
   }
   g_parallel_dispatches.fetch_add(1, std::memory_order_relaxed);
   g_tasks_spawned.fetch_add(n, std::memory_order_relaxed);
+  // Capture the caller's ambient context (tracer scope etc.) for the
+  // workers; the caller itself already carries it in its own TLS.
+  const BatchContextHooks* hooks =
+      g_batch_hooks.load(std::memory_order_acquire);
+  void* context =
+      hooks != nullptr && hooks->capture != nullptr ? hooks->capture() : nullptr;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->task = &task;
     impl_->governor = CurrentGovernor();
+    impl_->hooks = context != nullptr ? hooks : nullptr;
+    impl_->context = context;
     impl_->total = n;
     impl_->next.store(0, std::memory_order_relaxed);
     impl_->finished = 0;
@@ -178,6 +215,12 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& task) {
   impl_->cv_done.wait(lock, [&] { return impl_->finished >= n; });
   impl_->task = nullptr;
   impl_->governor = nullptr;
+  impl_->hooks = nullptr;
+  impl_->context = nullptr;
+  lock.unlock();
+  // Workers are done with the batch once finished >= n, so the captured
+  // context can be freed here.
+  if (context != nullptr) hooks->release(context);
 }
 
 size_t ParallelChunkCount(size_t n, size_t grain) {

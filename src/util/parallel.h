@@ -49,6 +49,29 @@ struct ParallelStats {
   uint64_t serial_dispatches = 0;
 };
 
+/// Type-erased propagation of a caller's thread-local ambient context onto
+/// pool workers — the same idea as the governor re-installation in
+/// WorkerLoop, but for layers above util (the tracer's TraceContext lives in
+/// obs, which util must not depend on; obs registers these hooks at load
+/// time — see obs/trace.cc).
+///
+/// Per batch: `capture` runs once on the dispatching thread; a null return
+/// means "nothing to propagate" and the remaining hooks are skipped.
+/// Otherwise every worker brackets its participation with `enter(captured)`
+/// -> token and `exit(token)`, and the dispatcher calls `release(captured)`
+/// after the batch completes.
+struct BatchContextHooks {
+  void* (*capture)() = nullptr;
+  void* (*enter)(void* captured) = nullptr;
+  void (*exit)(void* token) = nullptr;
+  void (*release)(void* captured) = nullptr;
+};
+
+/// Installs the process-wide hooks. Expected to be called once, before the
+/// first parallel dispatch (a namespace-scope registrar in the obs library
+/// does this); later batches pick the new hooks up lock-free.
+void SetBatchContextHooks(const BatchContextHooks& hooks);
+
 /// A fixed-size pool of std::jthread workers executing indexed task batches.
 class ThreadPool {
  public:

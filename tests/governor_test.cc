@@ -546,15 +546,17 @@ TEST(GovernorReplTest, SessionTokenCancelsARunningStatement) {
 
 // ------------------------------------------------------------- metrics
 
-TEST(GovernorMetricsTest, TripsAreMirroredIntoGauges) {
+TEST(GovernorMetricsTest, TripsAreMirroredIntoCounters) {
   lang::ScriptRunner runner;
   ASSERT_TRUE(runner.RunLine(LetAtoms("R", 18)).ok());
   ASSERT_TRUE(runner.RunLine("\\memlimit 4096").ok());
   ASSERT_FALSE(runner.RunLine("count pow(R)").ok());
   auto& metrics = obs::GlobalMetrics();
-  EXPECT_GE(metrics.GetGauge("governor.memcap.trips")->value(), 1);
-  EXPECT_GE(metrics.GetGauge("governor.checkpoints")->value(), 1);
-  EXPECT_GE(metrics.GetGauge("governor.bytes_accounted")->value(), 4096);
+  // Monotone governor totals surface as counters (Prometheus-typed), not
+  // gauges.
+  EXPECT_GE(metrics.GetCounter("governor.memcap.trips")->value(), 1u);
+  EXPECT_GE(metrics.GetCounter("governor.checkpoints")->value(), 1u);
+  EXPECT_GE(metrics.GetCounter("governor.bytes_accounted")->value(), 4096u);
 }
 
 TEST(GovernorMetricsTest, PreflightRefusalsCountInBothFamilies) {

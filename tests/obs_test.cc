@@ -10,6 +10,7 @@
 
 #include <cctype>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "src/algebra/builder.h"
@@ -360,8 +361,13 @@ TEST(EvalTracingTest, EmitsNestedEvaluatorSpans) {
   auto events = tracer.SnapshotEvents();
   ASSERT_FALSE(events.empty());
   bool saw_input = false, saw_select = false, saw_nested = false;
+  std::set<uint64_t> ids;
   for (const auto& e : events) {
-    EXPECT_EQ(e.category, "eval");
+    // Kernel-layer spans ride along in the same trace now that KernelScope
+    // picks up the ambient tracer; everything else here is evaluator spans.
+    EXPECT_TRUE(e.category == "eval" || e.category == "kernel")
+        << e.category;
+    ids.insert(e.id);
     if (e.name == "input") saw_input = true;
     if (e.name == "sel") saw_select = true;
     if (e.depth > 0) saw_nested = true;
@@ -369,6 +375,13 @@ TEST(EvalTracingTest, EmitsNestedEvaluatorSpans) {
   EXPECT_TRUE(saw_input);
   EXPECT_TRUE(saw_select);
   EXPECT_TRUE(saw_nested);
+  // Kernel spans triggered by the evaluation are children of recorded eval
+  // (or kernel) spans, never orphaned roots.
+  for (const auto& e : events) {
+    if (e.category != "kernel") continue;
+    EXPECT_NE(e.parent_id, 0u) << e.name;
+    EXPECT_TRUE(ids.count(e.parent_id) == 1) << e.name;
+  }
 }
 
 TEST(EvalTracingTest, FixpointIterationsBecomeChildSpans) {

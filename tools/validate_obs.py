@@ -1,0 +1,341 @@
+#!/usr/bin/env python3
+"""Validate bagalg observability artifacts.
+
+Checks any combination of the three machine-readable artifacts the REPL
+and benchmarks produce:
+
+  --journal FILE   JSON Lines from `\\journal export FILE`
+                   (schema: tools/schemas/journal.schema.json, plus
+                   monotone seq numbers)
+  --trace FILE     Chrome trace-event JSON from `\\trace FILE` /
+                   `--bagalg_trace=FILE` (schema:
+                   tools/schemas/trace.schema.json, plus span-tree
+                   linkage: unique ids, resolvable parents, consistent
+                   depths, children contained in parents' intervals)
+  --prom FILE      Prometheus text exposition from `\\prom FILE`
+                   (format rules: legal names, typed families,
+                   cumulative histogram buckets closed by +Inf == _count)
+
+Stdlib only — the schema checker implements the subset of JSON Schema
+the checked-in schemas use (type, enum, pattern, minimum, required,
+properties, items, additionalProperties). Exits non-zero and prints one
+line per problem on failure.
+"""
+
+import argparse
+import json
+import math
+import os
+import re
+import sys
+
+
+# --------------------------------------------------------------- schema
+
+
+def check_schema(value, schema, path, errors):
+    """Validate `value` against the supported JSON-Schema subset."""
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+        return
+    expected = schema.get("type")
+    if expected is not None and not _type_ok(value, expected):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+    if isinstance(value, str) and "pattern" in schema:
+        if not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match {schema['pattern']!r}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                check_schema(value[key], sub, f"{path}.{key}", errors)
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected key {key!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            check_schema(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def _type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    return True
+
+
+def load_schema(schemas_dir, name):
+    with open(os.path.join(schemas_dir, name), encoding="utf-8") as f:
+        return json.load(f)
+
+
+# -------------------------------------------------------------- journal
+
+
+def validate_journal(path, schemas_dir, errors):
+    schema = load_schema(schemas_dir, "journal.schema.json")
+    entries = 0
+    prev_seq = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{where}: not valid JSON: {exc}")
+                continue
+            check_schema(entry, schema, where, errors)
+            entries += 1
+            seq = entry.get("seq")
+            if isinstance(seq, int):
+                if seq <= prev_seq:
+                    errors.append(
+                        f"{where}: seq {seq} not greater than previous {prev_seq}"
+                    )
+                prev_seq = seq
+    if entries == 0:
+        errors.append(f"{path}: journal is empty")
+    return entries
+
+
+# ---------------------------------------------------------------- trace
+
+
+def validate_trace(path, schemas_dir, errors):
+    schema = load_schema(schemas_dir, "trace.schema.json")
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as exc:
+        errors.append(f"{path}: not valid JSON: {exc}")
+        return 0
+    check_schema(doc, schema, path, errors)
+    if errors:
+        return 0
+    events = doc.get("traceEvents", [])
+    by_id = {}
+    for i, event in enumerate(events):
+        span_id = event["args"]["id"]
+        if span_id in by_id:
+            errors.append(f"{path}: duplicate span id {span_id} (event {i})")
+        by_id[span_id] = event
+    for i, event in enumerate(events):
+        args = event["args"]
+        parent = args["parent"]
+        where = f"{path}: event {i} ({event['name']!r}, id={args['id']})"
+        if parent == 0:
+            if args["depth"] != 0:
+                errors.append(f"{where}: root span has depth {args['depth']}")
+            continue
+        if parent not in by_id:
+            errors.append(f"{where}: parent {parent} not in trace")
+            continue
+        pevent = by_id[parent]
+        pdepth = pevent["args"]["depth"]
+        if args["depth"] != pdepth + 1:
+            errors.append(
+                f"{where}: depth {args['depth']} but parent depth {pdepth}"
+            )
+        # A child span must fall inside its parent's wall interval
+        # (microsecond rounding in the exporter allows a little slack).
+        slack = 0.5
+        if event["ts"] + slack < pevent["ts"] or (
+            event["ts"] + event["dur"] > pevent["ts"] + pevent["dur"] + slack
+        ):
+            errors.append(f"{where}: interval escapes parent {parent}")
+    if not events:
+        errors.append(f"{path}: trace has no events")
+    return len(events)
+
+
+# ----------------------------------------------------------- prometheus
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+
+
+def parse_le(text):
+    if text == "+Inf":
+        return math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def validate_prom(path, errors):
+    types = {}
+    samples = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            where = f"{path}:{lineno}"
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split()
+                if len(parts) >= 2 and parts[1] == "TYPE":
+                    if len(parts) != 4:
+                        errors.append(f"{where}: malformed TYPE line")
+                        continue
+                    _, _, name, kind = parts
+                    if not NAME_RE.match(name):
+                        errors.append(f"{where}: illegal metric name {name!r}")
+                    if kind not in ("counter", "gauge", "histogram"):
+                        errors.append(f"{where}: unknown metric type {kind!r}")
+                    if name in types:
+                        errors.append(f"{where}: duplicate TYPE for {name}")
+                    types[name] = kind
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                errors.append(f"{where}: malformed sample line {line!r}")
+                continue
+            labels = {}
+            if m.group("labels"):
+                for piece in m.group("labels").split(","):
+                    lm = LABEL_RE.match(piece.strip())
+                    if not lm:
+                        errors.append(f"{where}: malformed label {piece!r}")
+                        continue
+                    labels[lm.group("key")] = lm.group("val")
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                errors.append(f"{where}: non-numeric value {m.group('value')!r}")
+                continue
+            samples.append((m.group("name"), labels, value, where))
+
+    by_name = {}
+    for name, labels, value, where in samples:
+        by_name.setdefault(name, []).append((labels, value, where))
+
+    for name, series in by_name.items():
+        family, kind = _family_of(name, types)
+        if kind is None:
+            errors.append(f"{path}: sample {name} has no TYPE declaration")
+            continue
+        if kind == "counter":
+            if not name.endswith("_total"):
+                errors.append(f"{path}: counter {name} lacks _total suffix")
+            for _, value, where in series:
+                if value < 0:
+                    errors.append(f"{where}: counter {name} is negative")
+        if kind == "histogram" and name == family + "_bucket":
+            _check_buckets(path, family, series, by_name, errors)
+
+    for family, kind in types.items():
+        if kind == "histogram":
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family + suffix not in by_name:
+                    errors.append(f"{path}: histogram {family} missing {suffix}")
+        elif family not in by_name:
+            errors.append(f"{path}: TYPE {family} has no samples")
+    if not samples:
+        errors.append(f"{path}: exposition has no samples")
+    return len(samples)
+
+
+def _family_of(sample_name, types):
+    """Map a sample name to its declared family and type."""
+    if sample_name in types:
+        return sample_name, types[sample_name]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            family = sample_name[: -len(suffix)]
+            if types.get(family) == "histogram":
+                return family, "histogram"
+    return sample_name, None
+
+
+def _check_buckets(path, family, buckets, by_name, errors):
+    les = []
+    for labels, value, where in buckets:
+        le = parse_le(labels.get("le", ""))
+        if le is None:
+            errors.append(f"{where}: bucket of {family} has bad le")
+            return
+        les.append((le, value))
+    les.sort(key=lambda p: p[0])
+    prev = -1.0
+    for le, value in les:
+        if value < prev:
+            errors.append(f"{path}: histogram {family} buckets not cumulative")
+            return
+        prev = value
+    if not les or les[-1][0] != math.inf:
+        errors.append(f"{path}: histogram {family} missing le=\"+Inf\" bucket")
+        return
+    counts = by_name.get(family + "_count", [])
+    if counts and counts[0][1] != les[-1][1]:
+        errors.append(
+            f"{path}: histogram {family} +Inf bucket {les[-1][1]} "
+            f"!= _count {counts[0][1]}"
+        )
+
+
+# ------------------------------------------------------------------ cli
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--journal", help="journal JSONL file to validate")
+    parser.add_argument("--trace", help="Chrome trace JSON file to validate")
+    parser.add_argument("--prom", help="Prometheus exposition file to validate")
+    parser.add_argument(
+        "--schemas",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "schemas"),
+        help="directory holding *.schema.json (default: alongside this script)",
+    )
+    args = parser.parse_args()
+    if not (args.journal or args.trace or args.prom):
+        parser.error("nothing to do: pass --journal/--trace/--prom")
+
+    errors = []
+    if args.journal:
+        n = validate_journal(args.journal, args.schemas, errors)
+        print(f"journal: {args.journal}: {n} entries")
+    if args.trace:
+        n = validate_trace(args.trace, args.schemas, errors)
+        print(f"trace: {args.trace}: {n} spans")
+    if args.prom:
+        n = validate_prom(args.prom, errors)
+        print(f"prom: {args.prom}: {n} samples")
+
+    if errors:
+        print(f"FAILED: {len(errors)} problem(s)", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
