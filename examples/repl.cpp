@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
   if (interactive) {
     std::cout << "bagalg — a nested bag algebra (Grumbach & Milo, PODS'93)\n"
               << "commands: let, schema, eval, count, exec, type, analyze, "
-                 "explain [analyze|cost], optimize, stats, timing, \\lint, "
+                 "explain [analyze|cost|ir], optimize, stats, timing, \\lint, "
                  "\\budget, \\timeout, \\memlimit, \\metrics, \\trace, "
                  "\\journal, \\flightrec, \\prom, reset. "
                  "Ctrl-C cancels a running query; Ctrl-D exits.\n";

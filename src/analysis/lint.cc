@@ -115,6 +115,50 @@ void CheckRewriteMissed(const LintContext& ctx, std::vector<LintDiag>* out) {
                       " rewrite(s): " + rules});
 }
 
+/// W005: a materializing powerset/powerbag sits in pipeline position — as
+/// the direct source of a streaming operator (MAP, σ, ×, ⊎, ε) — so the
+/// fused IR engine cannot lower the plan and falls back to tuple-at-a-time
+/// execution (src/ir rejects P/P_b; see docs/IR.md legality conditions).
+void CheckPowersetBlocksFusion(const LintContext& ctx,
+                               std::vector<LintDiag>* out) {
+  auto is_power = [](const Expr& e) {
+    return e->kind == ExprKind::kPowerset || e->kind == ExprKind::kPowerbag;
+  };
+  for (const auto& ref : ctx.nodes) {
+    const ExprNode& n = ref.expr.node();
+    std::vector<size_t> sources;
+    switch (n.kind) {
+      case ExprKind::kMap:
+        sources = {1};
+        break;
+      case ExprKind::kSelect:
+        sources = {2};
+        break;
+      case ExprKind::kProduct:
+      case ExprKind::kAdditiveUnion:
+        sources = {0, 1};
+        break;
+      case ExprKind::kDupElim:
+        sources = {0};
+        break;
+      default:
+        continue;
+    }
+    for (size_t i : sources) {
+      if (i >= n.children.size() || !is_power(n.children[i])) continue;
+      out->push_back(
+          {LintDiag::Severity::kWarning, "W005", ref.path,
+           std::string(ExprKindName(n.children[i]->kind)) +
+               " feeds a streaming " + ExprKindName(n.kind) +
+               ": the plan is fusion-ineligible and the IR engine falls "
+               "back to tuple-at-a-time execution; rewrite to push the " +
+               ExprKindName(n.kind) +
+               " below the powerset's operand, or hoist the powerset out "
+               "of the pipeline"});
+    }
+  }
+}
+
 /// E001: a subexpression's estimated output provably exceeds the budget.
 void CheckBudgetExceeded(const LintContext& ctx, std::vector<LintDiag>* out) {
   const CostBudget* budget = ctx.options->budget;
@@ -142,6 +186,8 @@ LintRuleRegistry& LintRuleRegistry::Global() {
     r->Register({"W003", "subtraction annihilates",
                  CheckSubtractionAnnihilates});
     r->Register({"W004", "rewrite opportunities missed", CheckRewriteMissed});
+    r->Register({"W005", "powerset blocks pipeline fusion",
+                 CheckPowersetBlocksFusion});
     r->Register({"E001", "estimated output exceeds budget",
                  CheckBudgetExceeded});
     return r;

@@ -16,6 +16,9 @@
 ///         typo for a different operand.
 ///   W004  rewrite-missed — the optimizer still finds applicable rewrites;
 ///         the query is running in unoptimized form.
+///   W005  powerset-blocks-fusion — a materializing P/P_b feeds a streaming
+///         operator, so the fused IR engine cannot lower the plan and falls
+///         back to tuple-at-a-time execution.
 ///   E001  estimated-output-exceeds-budget — a subexpression's bound provably
 ///         exceeds the configured CostBudget (the admission check of
 ///         static_cost.h surfaced as a diagnostic).

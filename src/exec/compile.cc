@@ -1,8 +1,33 @@
 #include "src/exec/compile.h"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "src/obs/metrics.h"
 
 namespace bagalg::exec {
+
+const char* EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kAuto:
+      return "auto";
+    case Engine::kVolcano:
+      return "volcano";
+    case Engine::kIr:
+      return "ir";
+  }
+  return "?";
+}
+
+Engine EngineFromEnv() {
+  const char* env = std::getenv("BAGALG_EXEC_ENGINE");
+  if (env == nullptr) return Engine::kAuto;
+  if (std::strcmp(env, "ir") == 0) return Engine::kIr;
+  if (std::strcmp(env, "interp") == 0 || std::strcmp(env, "volcano") == 0) {
+    return Engine::kVolcano;
+  }
+  return Engine::kAuto;
+}
 
 namespace {
 
@@ -113,8 +138,8 @@ Result<OperatorPtr> CompilePipeline(const Expr& expr, const Database& db,
   return Compile(expr, db, tracer);
 }
 
-Result<Bag> RunPipeline(const Expr& expr, const Database& db,
-                        const ExecOptions& options) {
+Result<Bag> RunVolcanoPipeline(const Expr& expr, const Database& db,
+                               const ExecOptions& options) {
   if (options.preflight) {
     BAGALG_RETURN_IF_ERROR(options.preflight(expr, db));
   }

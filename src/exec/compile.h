@@ -20,6 +20,35 @@
 
 namespace bagalg::exec {
 
+/// Which execution engine RunPipeline uses.
+enum class Engine {
+  /// Honor BAGALG_EXEC_ENGINE ("ir", or "interp"/"volcano"); when unset,
+  /// prefer the fused IR engine and fall back to Volcano for plans the IR
+  /// cannot lower.
+  kAuto,
+  /// The tuple-at-a-time Volcano pipeline (this module).
+  kVolcano,
+  /// The fused batched IR engine (src/ir). Strict: plans outside the IR
+  /// fragment fail with kUnsupported instead of falling back.
+  kIr,
+};
+
+/// "auto" / "volcano" / "ir".
+const char* EngineName(Engine engine);
+
+/// Reads BAGALG_EXEC_ENGINE: "ir" selects the IR engine (with Volcano
+/// fallback for unlowerable plans), "interp" / "volcano" the Volcano
+/// pipeline. kAuto when unset or unrecognized.
+Engine EngineFromEnv();
+
+/// What RunPipeline actually did, for journaling and tests.
+struct ExecReport {
+  Engine engine_used = Engine::kVolcano;
+  /// True when the IR engine was preferred but the plan failed to lower
+  /// and the Volcano pipeline ran instead.
+  bool fell_back = false;
+};
+
 /// Execution knobs. Default-constructed options run uninstrumented.
 struct ExecOptions {
   /// When non-null and enabled, every physical operator is wrapped with a
@@ -35,6 +64,11 @@ struct ExecOptions {
   /// operators' per-row checkpoints and the kernels below enforce it.
   /// Borrowed; nullptr (the default) runs ungoverned.
   ResourceGovernor* governor = nullptr;
+  /// Engine selection (see Engine).
+  Engine engine = Engine::kAuto;
+  /// When non-null, receives which engine ran (and whether the IR engine
+  /// fell back). Borrowed.
+  ExecReport* report = nullptr;
 };
 
 /// Builds the physical pipeline for `expr` against `db`. Input bags are
@@ -42,9 +76,19 @@ struct ExecOptions {
 Result<OperatorPtr> CompilePipeline(const Expr& expr, const Database& db,
                                     const ExecOptions& options = {});
 
-/// Convenience: compile + run to a canonical bag.
+/// Convenience: run to a canonical bag on the engine selected by
+/// `options.engine`. Defined in src/ir/run.cc (libbagalg_ir) — engine
+/// dispatch must reach both this module and the IR engine, and the IR
+/// library already links back to bagalg_exec for the Volcano bridge.
+/// Callers of RunPipeline link bagalg_ir.
 Result<Bag> RunPipeline(const Expr& expr, const Database& db,
                         const ExecOptions& options = {});
+
+/// Compile + run on the Volcano pipeline only, ignoring `options.engine`.
+/// The kVolcano leg of RunPipeline, and the pinned engine for benchmarks
+/// that measure the tuple-at-a-time baseline.
+Result<Bag> RunVolcanoPipeline(const Expr& expr, const Database& db,
+                               const ExecOptions& options = {});
 
 }  // namespace bagalg::exec
 

@@ -1,0 +1,143 @@
+#include "src/ir/ir.h"
+
+#include <utility>
+
+namespace bagalg::ir {
+
+const char* IrKindName(IrKind kind) {
+  switch (kind) {
+    case IrKind::kScan:
+      return "scan";
+    case IrKind::kUnionAll:
+      return "union_all";
+    case IrKind::kCrossJoin:
+      return "cross_join";
+    case IrKind::kHashJoin:
+      return "hash_join";
+    case IrKind::kMerge:
+      return "merge";
+    case IrKind::kDupElim:
+      return "dup_elim";
+    case IrKind::kBridge:
+      return "bridge";
+  }
+  return "?";
+}
+
+std::string Stage::ToString() const {
+  switch (kind) {
+    case StageKind::kFilter:
+      return "filter " + program.ToString() + " == " + rhs.ToString();
+    case StageKind::kProject:
+      return "project " + program.ToString();
+  }
+  return "?";
+}
+
+size_t CountFusedStages(const IrNode& node) {
+  size_t total = node.stages.size();
+  for (const auto& child : node.children) total += CountFusedStages(*child);
+  return total;
+}
+
+namespace {
+
+const char* MergeKindName(exec::MergeKind kind) {
+  switch (kind) {
+    case exec::MergeKind::kMonus:
+      return "monus";
+    case exec::MergeKind::kMaxUnion:
+      return "umax";
+    case exec::MergeKind::kIntersect:
+      return "inter";
+  }
+  return "?";
+}
+
+void RenderNode(const IrNode& node, size_t depth, const std::string& role,
+                std::string* out) {
+  out->append(2 * depth, ' ');
+  if (!role.empty()) {
+    out->append(role);
+    out->append(": ");
+  }
+  out->append(IrKindName(node.kind));
+  switch (node.kind) {
+    case IrKind::kScan:
+      out->append(" ");
+      out->append(node.scan_name);
+      break;
+    case IrKind::kHashJoin:
+      out->append(" a" + std::to_string(node.probe_key) + " == b" +
+                  std::to_string(node.build_key));
+      break;
+    case IrKind::kMerge:
+      out->append(" ");
+      out->append(MergeKindName(node.merge_kind));
+      break;
+    case IrKind::kBridge:
+      if (node.origin.IsValid()) {
+        out->append(" [volcano: " + node.origin.ToString() + "]");
+      }
+      break;
+    default:
+      break;
+  }
+  if (node.cse_shared) out->append(" [shared]");
+  if (node.est_rows.has_value()) {
+    out->append(" ~" + std::to_string(*node.est_rows) + " rows");
+  }
+  if (!node.cost_note.empty()) {
+    out->append(" : ");
+    out->append(node.cost_note);
+  }
+  out->append("\n");
+  for (const Stage& stage : node.stages) {
+    out->append(2 * depth + 2, ' ');
+    out->append("| ");
+    out->append(stage.ToString());
+    out->append("\n");
+  }
+  const bool join =
+      node.kind == IrKind::kCrossJoin || node.kind == IrKind::kHashJoin;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    std::string child_role;
+    if (join) child_role = i == 0 ? "probe" : "build";
+    RenderNode(*node.children[i], depth + 1, child_role, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainIrPlan(const IrPlan& plan) {
+  std::string out = "ir plan: batch=" + std::to_string(plan.batch_size) +
+                    " fused_stages=" +
+                    std::to_string(plan.root ? CountFusedStages(*plan.root)
+                                             : 0);
+  if (plan.passes.hash_joins != 0) {
+    out += " hash_joins=" + std::to_string(plan.passes.hash_joins);
+  }
+  if (plan.passes.filters_pushed != 0) {
+    out += " filters_pushed=" + std::to_string(plan.passes.filters_pushed);
+  }
+  if (plan.passes.projections_pushed != 0) {
+    out += " projections_pushed=" +
+           std::to_string(plan.passes.projections_pushed);
+  }
+  if (plan.passes.cse_nodes != 0) {
+    out += " shared=" + std::to_string(plan.passes.cse_nodes);
+  }
+  out += "\n";
+  if (!plan.rewrites.empty()) {
+    out += "rewrites:";
+    for (const std::string& r : plan.rewrites) {
+      out += " ";
+      out += r;
+    }
+    out += "\n";
+  }
+  if (plan.root != nullptr) RenderNode(*plan.root, 0, "", &out);
+  return out;
+}
+
+}  // namespace bagalg::ir

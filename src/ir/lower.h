@@ -1,0 +1,56 @@
+#ifndef BAGALG_IR_LOWER_H_
+#define BAGALG_IR_LOWER_H_
+
+/// \file lower.h
+/// Lowering typed BALG¹ plans into the fused loop IR.
+///
+/// LowerToIr is the front half of the IR engine: it (optionally) runs the
+/// algebra-level rewriter first — which canonicalizes equal subplans so the
+/// IR's common-subexpression pass can key on surface syntax — typechecks the
+/// plan (join lowering needs the probe side's tuple arity), folds every MAP
+/// / σ into fused stages on the producing node, then runs the IR passes
+/// (passes.h) and annotates nodes with static_cost bounds.
+///
+/// The supported fragment is exactly exec::CompilePipeline's BALG¹ fragment;
+/// anything outside lowers to kUnsupported, and engine dispatch (run.cc)
+/// falls back to the Volcano pipeline or the tree-walking evaluator.
+
+#include <string>
+
+#include "src/algebra/database.h"
+#include "src/algebra/expr.h"
+#include "src/ir/ir.h"
+#include "src/util/result.h"
+
+namespace bagalg::ir {
+
+struct LowerOptions {
+  /// Run algebra::Optimize before lowering. Besides the usual identity /
+  /// selection-pushdown wins, this canonicalizes duplicate subplans so the
+  /// CSE pass can recognize them.
+  bool optimize_first = true;
+  /// Annotate nodes with static_cost exact-facts bounds (cost_note,
+  /// est_rows). Lowering never fails on analysis errors — annotations are
+  /// best-effort.
+  bool annotate_costs = true;
+  /// Lower monus/max-union/intersect through the Volcano bridge instead of
+  /// the native kMerge node. Exercises the batch-at-a-time Operator bridge;
+  /// also the template for any future operator the IR cannot host natively.
+  bool merges_via_bridge = false;
+  /// Rows per batch for the produced plan.
+  size_t batch_size = kDefaultBatchSize;
+};
+
+/// Lowers `expr` against `db` into a pass-processed IR plan. kUnsupported
+/// outside the BALG¹ pipeline fragment; kNotFound for unknown inputs;
+/// kTypeError when the plan does not typecheck (joins need arities).
+Result<IrPlan> LowerToIr(const Expr& expr, const Database& db,
+                         const LowerOptions& options = {});
+
+/// EXPLAIN IR: lower + render the fused pipeline tree (ExplainIrPlan).
+Result<std::string> ExplainIr(const Expr& expr, const Database& db,
+                              const LowerOptions& options = {});
+
+}  // namespace bagalg::ir
+
+#endif  // BAGALG_IR_LOWER_H_

@@ -1,0 +1,282 @@
+#include "src/ir/passes.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bagalg::ir {
+
+namespace {
+
+/// True iff every top-level column reference of both filter programs can be
+/// remapped through the gather list `g` (i.e. the filter can move below a
+/// gather projection).
+bool CanRemapThrough(const RowProgram& program,
+                     const std::vector<size_t>& gather) {
+  const auto refs = program.ColumnRefs();
+  if (!refs.has_value()) return false;
+  for (size_t c : *refs) {
+    if (c < 1 || c > gather.size()) return false;
+  }
+  return true;
+}
+
+/// Pass 1: bubble filters towards the front of a node's stage list. A
+/// filter commutes with another filter trivially, and with a gather-shaped
+/// projection by remapping its column references through the gather —
+/// filter(f) ∘ project(g) ≡ project(g) ∘ filter(f∘g) on every row, counts
+/// untouched.
+void ReorderStages(IrNode* node, PassStats* stats) {
+  auto& stages = node->stages;
+  for (size_t i = 1; i < stages.size(); ++i) {
+    if (stages[i].kind != StageKind::kFilter) continue;
+    size_t j = i;
+    bool moved = false;
+    while (j > 0) {
+      Stage& prev = stages[j - 1];
+      if (prev.kind == StageKind::kFilter) break;  // already a filter prefix
+      const auto& gather = prev.program.Gather();
+      if (!gather.has_value() ||
+          !CanRemapThrough(stages[j].program, *gather) ||
+          !CanRemapThrough(stages[j].rhs, *gather)) {
+        break;
+      }
+      stages[j].program.RemapColumns(*gather);
+      stages[j].rhs.RemapColumns(*gather);
+      std::swap(stages[j - 1], stages[j]);
+      --j;
+      moved = true;
+    }
+    if (moved) stats->filters_pushed++;
+  }
+}
+
+/// Pass 2: stages on a union distribute over its inputs, letting each
+/// child fuse them into its own pipeline. Sound because ⊎ concatenates
+/// streams and stages are per-row.
+void PushIntoUnion(IrNode* node, PassStats* stats) {
+  if (node->stages.empty()) return;
+  for (const Stage& stage : node->stages) {
+    if (stage.kind == StageKind::kFilter) {
+      stats->filters_pushed++;
+    } else {
+      stats->projections_pushed++;
+    }
+  }
+  for (auto& child : node->children) {
+    for (const Stage& stage : node->stages) {
+      child->stages.push_back(stage);
+    }
+  }
+  node->stages.clear();
+}
+
+/// Pass 3: a leading filter over a cross join whose column references all
+/// fall on one side moves into that side. Build-side programs shift left
+/// by the probe arity. Sound over bags: dropping a (row, count) pair before
+/// the product drops exactly the joined pairs the post-product filter
+/// would have dropped, and surviving counts are untouched.
+void PushJoinSideFilters(IrNode* node, PassStats* stats) {
+  auto& stages = node->stages;
+  size_t i = 0;
+  while (i < stages.size() && stages[i].kind == StageKind::kFilter) {
+    Stage& stage = stages[i];
+    const auto lrefs = stage.program.ColumnRefs();
+    const auto rrefs = stage.rhs.ColumnRefs();
+    if (!lrefs.has_value() || !rrefs.has_value()) {
+      ++i;
+      continue;
+    }
+    std::vector<size_t> refs = *lrefs;
+    refs.insert(refs.end(), rrefs->begin(), rrefs->end());
+    bool all_probe = true;
+    bool all_build = true;
+    for (size_t c : refs) {
+      if (c > node->probe_arity) all_probe = false;
+      if (c <= node->probe_arity) all_build = false;
+    }
+    if (all_probe && !refs.empty()) {
+      node->children[0]->stages.push_back(std::move(stage));
+      stages.erase(stages.begin() + static_cast<std::ptrdiff_t>(i));
+      stats->filters_pushed++;
+      continue;
+    }
+    if (all_build && !refs.empty()) {
+      stage.program.ShiftColumns(node->probe_arity);
+      stage.rhs.ShiftColumns(node->probe_arity);
+      node->children[1]->stages.push_back(std::move(stage));
+      stages.erase(stages.begin() + static_cast<std::ptrdiff_t>(i));
+      stats->filters_pushed++;
+      continue;
+    }
+    ++i;
+  }
+}
+
+/// Pass 4: a leading field==field filter spanning both sides of a cross
+/// join is an equi-join predicate; promote the node to kHashJoin.
+void DetectHashJoin(IrNode* node, PassStats* stats) {
+  if (node->stages.empty() ||
+      node->stages.front().kind != StageKind::kFilter) {
+    return;
+  }
+  const auto lf = node->stages.front().program.FieldRef();
+  const auto rf = node->stages.front().rhs.FieldRef();
+  if (!lf.has_value() || !rf.has_value()) return;
+  const size_t arity = node->probe_arity;
+  size_t probe_key = 0;
+  size_t build_key = 0;
+  if (*lf >= 1 && *lf <= arity && *rf > arity) {
+    probe_key = *lf;
+    build_key = *rf - arity;
+  } else if (*rf >= 1 && *rf <= arity && *lf > arity) {
+    probe_key = *rf;
+    build_key = *lf - arity;
+  } else {
+    return;
+  }
+  node->kind = IrKind::kHashJoin;
+  node->probe_key = probe_key;
+  node->build_key = build_key;
+  node->stages.erase(node->stages.begin());
+  stats->hash_joins++;
+}
+
+void Process(IrNode* node, PassStats* stats) {
+  ReorderStages(node, stats);
+  if (node->kind == IrKind::kUnionAll) {
+    PushIntoUnion(node, stats);
+  } else if (node->kind == IrKind::kCrossJoin) {
+    PushJoinSideFilters(node, stats);
+    DetectHashJoin(node, stats);
+  }
+  for (auto& child : node->children) Process(child.get(), stats);
+}
+
+/// CSE key: the node's source surface syntax plus its fused stages. The
+/// pre-lowering rewriter canonicalizes equal subplans, so syntactically
+/// equal keys denote equal results; including the stages distinguishes
+/// occurrences that acquired different fused work from their parents.
+std::string CseKeyOf(const IrNode& node) {
+  if (!node.origin.IsValid()) return std::string();
+  std::string key = node.origin.ToString();
+  for (const Stage& stage : node.stages) {
+    key += "\x1f";
+    key += stage.ToString();
+  }
+  return key;
+}
+
+void CollectCseCandidates(IrNode* node,
+                          std::map<std::string, std::vector<IrNode*>>* seen) {
+  // Scans are already shared-rep bags; caching them buys nothing. Bridges
+  // re-enter the Volcano engine which has its own lifecycle.
+  if (node->kind != IrKind::kScan && node->kind != IrKind::kBridge) {
+    const std::string key = CseKeyOf(*node);
+    if (!key.empty()) (*seen)[key].push_back(node);
+  }
+  for (auto& child : node->children) CollectCseCandidates(child.get(), seen);
+}
+
+/// Pass 5: mark duplicate subplans for per-run result reuse.
+void MarkCse(IrPlan* plan) {
+  std::map<std::string, std::vector<IrNode*>> seen;
+  CollectCseCandidates(plan->root.get(), &seen);
+  for (auto& [key, nodes] : seen) {
+    if (nodes.size() < 2) continue;
+    for (IrNode* node : nodes) {
+      node->cse_shared = true;
+      node->cse_key = key;
+    }
+    plan->passes.cse_nodes++;
+  }
+}
+
+/// True iff the expression subtree contains an operator whose output can be
+/// astronomically larger than its input — the same syntactic criterion
+/// static_cost uses for Tractability::kExponentialTower (§3 dichotomy).
+bool ContainsIntractable(const Expr& e) {
+  if (!e.IsValid()) return false;
+  const ExprKind kind = e.node().kind;
+  if (kind == ExprKind::kPowerset || kind == ExprKind::kPowerbag) {
+    return true;
+  }
+  for (const Expr& c : e.node().children) {
+    if (ContainsIntractable(c)) return true;
+  }
+  return false;
+}
+
+Status CheckNode(const IrNode& node) {
+  // Child arity per kind.
+  size_t want_children = 0;
+  switch (node.kind) {
+    case IrKind::kScan:
+    case IrKind::kBridge:
+      want_children = 0;
+      break;
+    case IrKind::kUnionAll:
+      if (node.children.size() < 2) {
+        return Status::Internal("IR union with fewer than two inputs");
+      }
+      want_children = node.children.size();
+      break;
+    case IrKind::kCrossJoin:
+    case IrKind::kHashJoin:
+    case IrKind::kMerge:
+      want_children = 2;
+      break;
+    case IrKind::kDupElim:
+      want_children = 1;
+      break;
+  }
+  if (node.children.size() != want_children) {
+    return Status::Internal(std::string("IR node ") + IrKindName(node.kind) +
+                            " has wrong child count");
+  }
+  if (node.kind == IrKind::kHashJoin) {
+    if (node.probe_key < 1 || node.probe_key > node.probe_arity ||
+        node.build_key < 1) {
+      return Status::Internal("hash join key outside its side's arity");
+    }
+  }
+  // Fused stages are only legal over tractable producers: a materializing
+  // powerset/powerbag in pipeline position must never silently stream
+  // through a fused loop (it cannot lower today; this guards future
+  // lowering changes — and is the same condition lint rule W005 warns
+  // about at the algebra level).
+  if (!node.stages.empty() && ContainsIntractable(node.origin)) {
+    return Status::Unsupported(
+        "powerset/powerbag below a fused pipeline is not fusible");
+  }
+  for (const Stage& stage : node.stages) {
+    if (stage.program.insns().empty()) {
+      return Status::Internal("empty stage program in IR plan");
+    }
+    if (stage.kind == StageKind::kFilter && stage.rhs.insns().empty()) {
+      return Status::Internal("empty filter rhs program in IR plan");
+    }
+  }
+  for (const auto& child : node.children) {
+    BAGALG_RETURN_IF_ERROR(CheckNode(*child));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void RunPasses(IrPlan* plan) {
+  if (plan->root == nullptr) return;
+  Process(plan->root.get(), &plan->passes);
+  MarkCse(plan);
+}
+
+Status CheckFusionLegality(const IrPlan& plan) {
+  if (plan.root == nullptr) {
+    return Status::Internal("IR plan without a root");
+  }
+  return CheckNode(*plan.root);
+}
+
+}  // namespace bagalg::ir

@@ -1,0 +1,49 @@
+#ifndef BAGALG_IR_PASSES_H_
+#define BAGALG_IR_PASSES_H_
+
+/// \file passes.h
+/// IR-level optimization passes, run by LowerToIr after tree construction.
+///
+/// Pass order (RunPasses):
+///  1. stage reordering — bubble filters leftwards: past other filters
+///     freely, past gather-shaped projections by remapping their column
+///     references through the gather. Produces the leading-filter form the
+///     later passes key on.
+///  2. union pushdown — stages on a kUnionAll clone into every child, so
+///     each input streams through its own fused pipeline instead of paying
+///     a post-union pass.
+///  3. join-side pushdown — a leading filter on a cross join whose columns
+///     all fall on one side moves into that side (build-side programs shift
+///     by the probe arity). Shrinks the join's inputs.
+///  4. hash-join detection — a leading field==field filter that spans the
+///     two sides of a cross join turns the node into kHashJoin. The O(|L|·
+///     |R|) loop becomes O(|L|+|R|) — the headline win on bench_exec joins.
+///  5. CSE marking — duplicate subplans (by canonical surface syntax, which
+///     the pre-lowering rewriter normalizes) are marked cse_shared; the
+///     executor materializes the first occurrence once per run and serves
+///     the rest from the cached bag.
+///
+/// Every pass is multiplicity-sound: filters commute with each other and
+/// with projections under bag semantics because stage programs are pure and
+/// per-row, and pushing a one-sided filter below a product filters the same
+/// (row, count) pairs the joined filter would have dropped.
+
+#include "src/ir/ir.h"
+#include "src/util/status.h"
+
+namespace bagalg::ir {
+
+/// Runs all passes over the plan in place, accumulating plan.passes.
+void RunPasses(IrPlan* plan);
+
+/// Defensive post-pass validation: every node hosting fused stages must be
+/// in the fusible fragment (no powerset/powerbag origins — those never
+/// lower, but a future lowering bug must fail loudly, not silently drop
+/// multiplicities), hash-join keys must lie inside their sides' arities,
+/// and build-side materialization must not be provably astronomical per
+/// static_cost. Returns kUnsupported / kInternal with a diagnostic.
+Status CheckFusionLegality(const IrPlan& plan);
+
+}  // namespace bagalg::ir
+
+#endif  // BAGALG_IR_PASSES_H_

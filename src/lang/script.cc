@@ -10,6 +10,7 @@
 #include "src/analysis/lint.h"
 #include "src/analysis/static_cost.h"
 #include "src/exec/compile.h"
+#include "src/ir/lower.h"
 #include "src/lang/parser.h"
 #include "src/obs/metrics.h"
 #include "src/util/strings.h"
@@ -175,6 +176,7 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
   if (cmd == "eval" || cmd == "count") {
     BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
     obs::JournalEntry entry = BeginJournalEntry(cmd, rest, e);
+    entry.engine = "eval";
     uint64_t steps_before = evaluator_.stats().steps;
     uint64_t t0 = obs::MonotonicNowNs();
     uint64_t cpu0 = obs::ThreadCpuNowNs();
@@ -216,9 +218,10 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
   }
 
   if (cmd == "exec") {
-    // Run through the Volcano-style pipeline instead of the tree-walking
-    // evaluator; with tracing on, per-operator open/next/close spans land in
-    // the same trace as the evaluator's.
+    // Run through the execution engines (fused IR by default, Volcano as
+    // fallback — see exec::Engine) instead of the tree-walking evaluator;
+    // with tracing on, per-pipeline spans land in the same trace as the
+    // evaluator's.
     BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
     obs::JournalEntry entry = BeginJournalEntry(cmd, rest, e);
     uint64_t t0 = obs::MonotonicNowNs();
@@ -231,9 +234,12 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
     cancel_.Reset();
     ResourceGovernor governor(StatementGovernorOptions());
     options.governor = &governor;
+    exec::ExecReport report;
+    options.report = &report;
     Result<Bag> br = exec::RunPipeline(e, db_, options);
     uint64_t wall_ns = obs::MonotonicNowNs() - t0;
     uint64_t cpu1 = obs::ThreadCpuNowNs();
+    entry.engine = exec::EngineName(report.engine_used);
     entry.wall_ns = wall_ns;
     entry.cpu_ns = cpu1 >= cpu0 ? cpu1 - cpu0 : 0;
     if (br.ok()) entry.result_distinct = uint64_t{br->DistinctCount()};
@@ -279,6 +285,12 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
       BAGALG_ASSIGN_OR_RETURN(
           plan, analysis::ExplainCostExpr(e, db_.schema(),
                                           analysis::CostFacts::Exact(db_)));
+    } else if (sub == "ir") {
+      // `explain ir EXPR`: the fused pipeline tree the IR engine would
+      // run — batch size, fused stages per node, hash-join promotions,
+      // pushdown counts, and static_cost row bounds.
+      BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(analyze_rest));
+      BAGALG_ASSIGN_OR_RETURN(plan, ir::ExplainIr(e, db_));
     } else {
       BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
       BAGALG_ASSIGN_OR_RETURN(plan, ExplainExpr(e, db_.schema()));

@@ -10,8 +10,10 @@
 ///   schema NAME : TYPE        declare an input's bag type
 ///   eval EXPR                 evaluate and print the resulting object
 ///   count EXPR                evaluate and print the total cardinality
-///   exec EXPR                 evaluate via the Volcano-style pipeline
-///                             (src/exec) instead of the tree walker
+///   exec EXPR                 evaluate via the execution engines (fused IR
+///                             by default, Volcano fallback; selection via
+///                             BAGALG_EXEC_ENGINE) instead of the tree
+///                             walker
 ///   type EXPR                 print the static type
 ///   analyze EXPR              print fragment info (nesting, power nesting)
 ///   explain EXPR              print the typed operator tree (EXPLAIN)
@@ -20,6 +22,9 @@
 ///   explain cost EXPR         print the tree annotated with the static cost
 ///                             analysis: tractability class, polynomial
 ///                             degree, symbolic and estimated size bounds
+///   explain ir EXPR           print the fused pipeline tree of the IR
+///                             engine: batch size, fused stages, hash-join
+///                             promotions, pushdowns, row bounds
 ///   fragment K EXPR           check membership in BALG^K
 ///   optimize EXPR             print the rewritten expression
 ///   dump                      print the database as a replayable script

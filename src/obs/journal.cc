@@ -22,6 +22,7 @@ std::string JournalEntry::ToJsonLine() const {
   // The hash is emitted as a hex string: a raw uint64 can exceed 2^53 and
   // lose precision in JSON consumers that parse numbers as doubles.
   os << "{\"seq\":" << seq << ",\"kind\":" << JsonQuote(kind)
+     << ",\"engine\":" << JsonQuote(engine)
      << ",\"statement_hash\":\"" << std::hex << std::setw(16)
      << std::setfill('0') << statement_hash << std::dec << "\""
      << ",\"statement\":" << JsonQuote(statement)
@@ -90,7 +91,9 @@ std::string QueryJournal::ToString(size_t n) const {
   for (size_t i = 0; i < tail.size(); ++i) {
     const JournalEntry& e = tail[i];
     if (i > 0) os << "\n";
-    os << "#" << e.seq << " " << e.kind << " outcome=" << e.outcome
+    os << "#" << e.seq << " " << e.kind;
+    if (!e.engine.empty()) os << "[" << e.engine << "]";
+    os << " outcome=" << e.outcome
        << " wall_ms=" << static_cast<double>(e.wall_ns) / 1e6
        << " distinct=" << e.result_distinct
        << " bytes=" << e.bytes_accounted;

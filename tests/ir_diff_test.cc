@@ -1,0 +1,298 @@
+// Differential corpus for the two execution engines: every query family
+// the exec/eval tests exercise runs through the tree-walking evaluator,
+// the Volcano pipeline, and the strict IR engine, and the three must
+// produce bit-identical canonical bags — at 1, 2, and 8 pool threads, and
+// including the abort paths (governor deadline/memcap trips and injected
+// checkpoint/alloc faults), where the engines must agree on the *typed
+// error* and unwind cleanly enough to rerun identically afterwards.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/algebra/builder.h"
+#include "src/algebra/derived.h"
+#include "src/algebra/eval.h"
+#include "src/exec/compile.h"
+#include "src/stats/expr_gen.h"
+#include "src/stats/sampler.h"
+#include "src/util/fault.h"
+#include "src/util/governor.h"
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+
+namespace bagalg {
+namespace {
+
+using exec::RunPipeline;
+using exec::RunVolcanoPipeline;
+
+Value A(const char* name) { return MakeAtom(name); }
+
+/// Restores the global pool on scope exit (mirrors governor_test.cc).
+struct PoolRestorer {
+  ~PoolRestorer() { ThreadPool::Configure(ParallelOptions::Default()); }
+};
+
+/// Disarms fault injection on scope exit so a failing assertion cannot
+/// poison later tests.
+struct FaultDisarmer {
+  ~FaultDisarmer() { fault::Disarm(); }
+};
+
+/// n distinct 2-tuples [kI, vJ] with small duplicate groups in column 2 —
+/// big enough (>512) that every engine crosses checkpoint strides.
+Bag Pairs(size_t n) {
+  Bag::Builder builder;
+  builder.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    builder.AddOne(MakeTuple({MakeAtom("k" + std::to_string(i)),
+                              MakeAtom("v" + std::to_string(i % 5))}));
+  }
+  auto bag = std::move(builder).Build();
+  EXPECT_TRUE(bag.ok());
+  return *bag;
+}
+
+Database CorpusDb() {
+  Database db;
+  EXPECT_TRUE(db.Put("R", Pairs(700)).ok());
+  EXPECT_TRUE(db.Put("R2", Pairs(300)).ok());
+  EXPECT_TRUE(
+      db.Put("S", MakeBag({{MakeTuple({A("x")}), 5},
+                           {MakeTuple({A("y")}), 2},
+                           {MakeTuple({A("z")}), 1}}))
+          .ok());
+  return db;
+}
+
+/// Every operator family the exec/eval tests cover, in pipeline
+/// combinations: scans, all four unions/merges, ε, fused map/σ chains,
+/// cross and equi joins, and shared subplans for the CSE path.
+std::vector<Expr> Corpus() {
+  // Equi-join of the two pair bags on their duplicate-heavy v columns
+  // (probe column 2 against build column 2, i.e. joined column 4).
+  Expr join = ProjectAttrs(Select(Proj(Var(0), 2), Proj(Var(0), 4),
+                                  Product(Input("R"), Input("R2"))),
+                           {1, 3});
+  return {
+      Input("R"),
+      Uplus(Input("R"), Input("R2")),
+      Monus(Input("R"), Input("R2")),
+      Umax(Input("R"), Input("R2")),
+      Inter(Input("R"), Input("R2")),
+      Eps(ProjectAttrs(Input("R"), {2})),
+      Map(Tup({Proj(Var(0), 2), Proj(Var(0), 1)}), Input("R")),
+      Select(Proj(Var(0), 2), Proj(Var(0), 2), Input("R")),
+      ProjectAttrs(Select(Proj(Var(0), 2), Proj(Var(0), 3),
+                          Product(Input("R"), Input("S"))),
+                   {1, 3}),
+      join,
+      Product(Input("S"), Input("S")),
+      Uplus(Eps(Input("R")), Eps(Input("R"))),
+      Monus(Uplus(Input("R"), Input("R")), Input("R")),
+      Map(Tup({Proj(Var(0), 1)}),
+          Select(Proj(Var(0), 2), Proj(Var(0), 2),
+                 Uplus(Input("R"), Input("R2")))),
+  };
+}
+
+/// Evaluator vs Volcano vs strict IR on one query; all three must agree
+/// bit for bit (canonical Bag equality is structural).
+void ExpectEnginesAgree(const Expr& q, const Database& db) {
+  Evaluator eval;
+  auto reference = eval.EvalToBag(q, db);
+  ASSERT_TRUE(reference.ok()) << q.ToString() << "\n" << reference.status();
+  auto volcano = RunVolcanoPipeline(q, db);
+  ASSERT_TRUE(volcano.ok()) << q.ToString() << "\n" << volcano.status();
+  exec::ExecOptions strict;
+  strict.engine = exec::Engine::kIr;
+  auto fused = RunPipeline(q, db, strict);
+  ASSERT_TRUE(fused.ok()) << q.ToString() << "\n" << fused.status();
+  EXPECT_EQ(*volcano, *reference) << q.ToString();
+  EXPECT_EQ(*fused, *reference) << q.ToString();
+}
+
+TEST(IrDiffTest, CorpusAgreesAcrossEnginesAndThreadCounts) {
+  PoolRestorer restore;
+  Database db = CorpusDb();
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool::Configure(ParallelOptions{threads, 64});
+    for (const Expr& q : Corpus()) {
+      ExpectEnginesAgree(q, db);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// ------------------------------------------------------- random queries
+
+class IrDiffFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// The exec_test fuzz harness re-pointed at the strict IR engine: every
+/// generated BALG¹ query must lower (no fallback) and agree with the
+/// evaluator exactly.
+TEST_P(IrDiffFuzzTest, StrictIrAgreesWithEvaluatorOnBalg1) {
+  Rng rng(GetParam());
+  Type tup1 = Type::Tuple({Type::Atom()});
+  Type tup2 = Type::Tuple({Type::Atom(), Type::Atom()});
+  Schema schema{{"R", Type::Bag(tup1)}, {"S", Type::Bag(tup2)}};
+  ExprGenOptions options;
+  options.max_bag_nesting = 1;  // the BALG¹ pipeline fragment
+  options.allow_powerset = false;
+  options.growth_rounds = 14;
+  Evaluator eval;
+  int lowered = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto e = RandomExpr(rng, schema, options);
+    ASSERT_TRUE(e.ok());
+    FlatBagSpec spec1;
+    spec1.arity = 1;
+    spec1.num_elements = 4;
+    FlatBagSpec spec2 = spec1;
+    spec2.arity = 2;
+    Database db;
+    ASSERT_TRUE(db.Put("R", RandomFlatBag(rng, spec1)).ok());
+    ASSERT_TRUE(db.Put("S", RandomFlatBag(rng, spec2)).ok());
+    auto reference = eval.EvalToBag(*e, db);
+    ASSERT_TRUE(reference.ok()) << e->ToString();
+    exec::ExecOptions strict;
+    strict.engine = exec::Engine::kIr;
+    auto fused = RunPipeline(*e, db, strict);
+    ASSERT_TRUE(fused.ok()) << e->ToString() << "\n" << fused.status();
+    ++lowered;
+    EXPECT_EQ(*fused, *reference) << e->ToString();
+  }
+  EXPECT_EQ(lowered, 60);  // the whole generated fragment must lower
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrDiffFuzzTest,
+                         ::testing::Values(91, 92, 93, 94));
+
+// ---------------------------------------------------------- abort paths
+
+/// Both engines must turn an already-expired deadline into the same typed
+/// error, and leave the governor's trip kind telling the same story.
+TEST(IrDiffAbortTest, DeadlineTripsWithTheSameCodeOnBothEngines) {
+  Database db = CorpusDb();
+  Expr q = Map(Tup({Proj(Var(0), 2), Proj(Var(0), 1)}), Input("R"));
+  for (exec::Engine engine : {exec::Engine::kVolcano, exec::Engine::kIr}) {
+    GovernorOptions gopts;
+    gopts.wall_limit_ns = 1;
+    ResourceGovernor gov{gopts};
+    exec::ExecOptions options;
+    options.engine = engine;
+    options.governor = &gov;
+    auto out = RunPipeline(q, db, options);
+    ASSERT_FALSE(out.ok()) << exec::EngineName(engine);
+    EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded)
+        << exec::EngineName(engine) << ": " << out.status();
+    EXPECT_EQ(gov.trip_kind(), TripKind::kDeadline);
+  }
+}
+
+TEST(IrDiffAbortTest, MemcapTripsWithTheSameCodeOnBothEngines) {
+  Database db = CorpusDb();
+  // The cross product materializes far beyond a 4 KiB accounting cap.
+  Expr q = Product(Input("R"), Input("R2"));
+  for (exec::Engine engine : {exec::Engine::kVolcano, exec::Engine::kIr}) {
+    GovernorOptions gopts;
+    gopts.memory_limit_bytes = 4096;
+    ResourceGovernor gov{gopts};
+    exec::ExecOptions options;
+    options.engine = engine;
+    options.governor = &gov;
+    auto out = RunPipeline(q, db, options);
+    ASSERT_FALSE(out.ok()) << exec::EngineName(engine);
+    EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted)
+        << exec::EngineName(engine) << ": " << out.status();
+    EXPECT_EQ(gov.trip_kind(), TripKind::kMemcap);
+  }
+}
+
+/// The BAGALG_FAULT sweep of governor_test.cc, per engine: a one-shot
+/// checkpoint fault armed at event N either lets the query finish or
+/// aborts it with the typed injection error; after disarming, the same
+/// query must rerun to the exact reference result. Sweeping N visits abort
+/// sites at different pipeline depths (scan, staged loops, join
+/// build/probe, merge kernels).
+void RunEngineFaultSweep(exec::Engine engine, fault::FaultPoint point,
+                         StatusCode expected_code) {
+  FaultDisarmer disarm;
+  PoolRestorer restore;
+  ThreadPool::Configure(ParallelOptions{2, 64});
+  Database db = CorpusDb();
+  const Expr queries[] = {
+      Map(Tup({Proj(Var(0), 2)}), Input("R")),
+      ProjectAttrs(Select(Proj(Var(0), 2), Proj(Var(0), 4),
+                          Product(Input("R2"), Input("R2"))),
+                   {1, 3}),
+      Monus(Uplus(Input("R"), Input("R")), Input("R2")),
+      Eps(ProjectAttrs(Input("R"), {2})),
+  };
+  Evaluator eval;
+  const uint64_t sweep[] = {0, 1, 2, 3, 5, 8, 13, 33, 150, 5000};
+  for (uint64_t after : sweep) {
+    for (const Expr& q : queries) {
+      auto reference = eval.EvalToBag(q, db);
+      ASSERT_TRUE(reference.ok());
+      fault::FaultSpec spec;
+      spec.point = point;
+      spec.after = after;
+      fault::Configure(spec);
+      {
+        ResourceGovernor gov{GovernorOptions{}};
+        exec::ExecOptions options;
+        options.engine = engine;
+        options.governor = &gov;
+        auto out = RunPipeline(q, db, options);
+        if (!out.ok()) {
+          EXPECT_EQ(out.status().code(), expected_code)
+              << "engine=" << exec::EngineName(engine) << " after=" << after
+              << " q=" << q.ToString() << ": " << out.status();
+          EXPECT_NE(out.status().message().find("fault injection"),
+                    std::string::npos)
+              << out.status();
+        } else {
+          EXPECT_EQ(*out, *reference) << q.ToString();
+        }
+      }
+      // Clean unwind: disarmed, the identical query must succeed exactly.
+      fault::Disarm();
+      ResourceGovernor gov{GovernorOptions{}};
+      exec::ExecOptions options;
+      options.engine = engine;
+      options.governor = &gov;
+      auto again = RunPipeline(q, db, options);
+      ASSERT_TRUE(again.ok())
+          << "engine=" << exec::EngineName(engine) << " after=" << after
+          << ": " << again.status();
+      EXPECT_EQ(*again, *reference) << q.ToString();
+    }
+  }
+}
+
+TEST(IrDiffAbortTest, CheckpointFaultSweepVolcano) {
+  RunEngineFaultSweep(exec::Engine::kVolcano, fault::FaultPoint::kCheckpoint,
+                      StatusCode::kCancelled);
+}
+
+TEST(IrDiffAbortTest, CheckpointFaultSweepIr) {
+  RunEngineFaultSweep(exec::Engine::kIr, fault::FaultPoint::kCheckpoint,
+                      StatusCode::kCancelled);
+}
+
+TEST(IrDiffAbortTest, AllocFaultSweepVolcano) {
+  RunEngineFaultSweep(exec::Engine::kVolcano, fault::FaultPoint::kAlloc,
+                      StatusCode::kResourceExhausted);
+}
+
+TEST(IrDiffAbortTest, AllocFaultSweepIr) {
+  RunEngineFaultSweep(exec::Engine::kIr, fault::FaultPoint::kAlloc,
+                      StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace bagalg

@@ -444,6 +444,9 @@ TEST(ExecTracingTest, OperatorLifecyclesBecomeSpans) {
   Database db = JoinDb();
   exec::ExecOptions options;
   options.tracer = &tracer;
+  // This test is about the Volcano operator tracing decorator; the IR
+  // engine's spans are covered in ir_test.cc.
+  options.engine = exec::Engine::kVolcano;
   auto r = exec::RunPipeline(JoinQuery(), db, options);
   ASSERT_TRUE(r.ok()) << r.status();
   bool saw_scan = false, saw_product = false, saw_pipeline = false;
