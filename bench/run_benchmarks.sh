@@ -25,6 +25,14 @@
 # span-tree linkage), guarding the bench-side tracing hook.
 set -euo pipefail
 
+# Bench runs are verified runs: every IR plan a bench lowers is
+# re-verified after each optimization pass (src/ir/verify.h). The
+# verifier runs at plan-build time only, so measured per-row loops are
+# unaffected — but plan-time benches (BM_IrLowerOnly and small-input
+# exec benches where lowering dominates) do pay for it, so baselines
+# and --compare gate runs must agree on it: export it unconditionally.
+export BAGALG_IR_VERIFY=1
+
 COMPARE=0
 if [ "${1:-}" = "--compare" ]; then
   COMPARE=1

@@ -159,6 +159,136 @@ void CheckPowersetBlocksFusion(const LintContext& ctx,
   }
 }
 
+/// Conservative syntactic proof that `e` denotes a duplicate-free bag.
+/// Mirrors (a fragment of) the IR fact lattice's dup_free bit at the
+/// algebra level: ε and P are dup-free by construction; set-like inputs and
+/// literals are dup-free by inspection; σ and monus never raise a
+/// multiplicity above the source's; ∩ keeps the minimum of the two sides;
+/// ∪ (max-union) of two dup-free bags caps every count at 1; MAP with an
+/// identity body returns its source unchanged.
+bool ProvablyDupFree(const LintContext& ctx, const Expr& e) {
+  const ExprNode& n = e.node();
+  switch (n.kind) {
+    case ExprKind::kDupElim:
+    case ExprKind::kPowerset:
+      return true;
+    case ExprKind::kInput: {
+      if (ctx.facts == nullptr || ctx.facts->db == nullptr) return false;
+      Result<Bag> bag = ctx.facts->db->Get(n.name);
+      return bag.ok() && bag.value().IsSetLike();
+    }
+    case ExprKind::kConst:
+      return n.literal.has_value() && n.literal->IsBag() &&
+             n.literal->bag().IsSetLike();
+    case ExprKind::kSelect:
+      return ProvablyDupFree(ctx, n.children[2]);
+    case ExprKind::kSubtract:
+      return ProvablyDupFree(ctx, n.children[0]);
+    case ExprKind::kIntersect:
+      return ProvablyDupFree(ctx, n.children[0]) ||
+             ProvablyDupFree(ctx, n.children[1]);
+    case ExprKind::kMaxUnion:
+      return ProvablyDupFree(ctx, n.children[0]) &&
+             ProvablyDupFree(ctx, n.children[1]);
+    case ExprKind::kMap: {
+      const ExprNode& body = n.children[0].node();
+      bool identity = body.kind == ExprKind::kVar && body.index == 0;
+      return identity && ProvablyDupFree(ctx, n.children[1]);
+    }
+    default:
+      return false;
+  }
+}
+
+/// W006: ε over a provably duplicate-free operand is the identity.
+void CheckRedundantDupElim(const LintContext& ctx,
+                           std::vector<LintDiag>* out) {
+  for (const auto& ref : ctx.nodes) {
+    const ExprNode& n = ref.expr.node();
+    if (n.kind != ExprKind::kDupElim) continue;
+    if (!ProvablyDupFree(ctx, n.children[0])) continue;
+    out->push_back(
+        {LintDiag::Severity::kWarning, "W006", ref.path,
+         "dup-elim of a provably duplicate-free operand (" +
+             std::string(ExprKindName(n.children[0]->kind)) +
+             ") is the identity; the IR drop-redundant-dup-elim pass "
+             "removes it at runtime, and the query text can drop it too"});
+  }
+}
+
+/// Collects the 1-based attributes `body` reads off the binder at de Bruijn
+/// depth `depth` via α_i(Var(depth)). False when the row itself escapes
+/// (Var(depth) in any other position) — the caller must assume every
+/// column is live.
+bool LambdaColumnRefs(const Expr& body, size_t depth,
+                      std::vector<size_t>* refs) {
+  const ExprNode& n = body.node();
+  if (n.kind == ExprKind::kAttrProj) {
+    const ExprNode& operand = n.children[0].node();
+    if (operand.kind == ExprKind::kVar && operand.index == depth) {
+      refs->push_back(n.index);
+      return true;
+    }
+  }
+  if (n.kind == ExprKind::kVar && n.index == depth) return false;
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    size_t child_depth =
+        depth + static_cast<size_t>(BindersIntroduced(n.kind, i));
+    if (!LambdaColumnRefs(n.children[i], child_depth, refs)) return false;
+  }
+  return true;
+}
+
+/// W007: a MAP builds a k-column tuple of which the consuming MAP/σ reads
+/// only a strict subset — the unread columns are dead in the query text.
+void CheckDeadProjectionColumns(const LintContext& ctx,
+                                std::vector<LintDiag>* out) {
+  for (const auto& ref : ctx.nodes) {
+    const ExprNode& n = ref.expr.node();
+    // The consumer's read set over its source rows.
+    std::vector<size_t> used;
+    const Expr* source = nullptr;
+    if (n.kind == ExprKind::kMap) {
+      if (!LambdaColumnRefs(n.children[0], 0, &used)) continue;
+      source = &n.children[1];
+    } else if (n.kind == ExprKind::kSelect) {
+      if (!LambdaColumnRefs(n.children[0], 0, &used) ||
+          !LambdaColumnRefs(n.children[1], 0, &used)) {
+        continue;
+      }
+      source = &n.children[2];
+    } else {
+      continue;
+    }
+    // The source must be a MAP whose body is a τ(...) literal projection.
+    const ExprNode& producer = source->node();
+    if (producer.kind != ExprKind::kMap) continue;
+    const ExprNode& body = producer.children[0].node();
+    if (body.kind != ExprKind::kTupling) continue;
+    const size_t arity = body.children.size();
+    std::vector<size_t> dead;
+    for (size_t col = 1; col <= arity; ++col) {
+      if (std::find(used.begin(), used.end(), col) == used.end()) {
+        dead.push_back(col);
+      }
+    }
+    if (dead.empty()) continue;
+    std::string cols;
+    for (size_t col : dead) {
+      if (!cols.empty()) cols += ", ";
+      cols += std::to_string(col);
+    }
+    out->push_back(
+        {LintDiag::Severity::kWarning, "W007",
+         ref.path + " > " + ExprKindName(producer.kind),
+         "projection builds a " + std::to_string(arity) +
+             "-column tuple but its consumer reads only " +
+             std::to_string(arity - dead.size()) + " (dead columns: " +
+             cols + "); the IR dead-column pass prunes them at runtime, "
+             "and the source projection can be narrowed too"});
+  }
+}
+
 /// E001: a subexpression's estimated output provably exceeds the budget.
 void CheckBudgetExceeded(const LintContext& ctx, std::vector<LintDiag>* out) {
   const CostBudget* budget = ctx.options->budget;
@@ -188,6 +318,9 @@ LintRuleRegistry& LintRuleRegistry::Global() {
     r->Register({"W004", "rewrite opportunities missed", CheckRewriteMissed});
     r->Register({"W005", "powerset blocks pipeline fusion",
                  CheckPowersetBlocksFusion});
+    r->Register({"W006", "redundant dup-elim", CheckRedundantDupElim});
+    r->Register({"W007", "dead columns in a projection",
+                 CheckDeadProjectionColumns});
     r->Register({"E001", "estimated output exceeds budget",
                  CheckBudgetExceeded});
     return r;

@@ -8,23 +8,41 @@
 /// LintDiags from an extensible rule registry. The built-in rules encode the
 /// paper's tractability folklore as actionable warnings:
 ///
-///   W001  powerset-on-unbounded-input — a P/P_b whose operand size is not a
-///         static constant: the output is exponential in the data (§3).
+///   W001  powerset-on-unbounded-input — a P/P_b whose operand size is not
+///         a static constant: the output is exponential in the data (§3).
 ///   W002  product-of-products — a × chain of polynomial degree >= the
 ///         configured threshold: polynomial but practically explosive.
-///   W003  subtraction-annihilates — e ∸ e is the empty bag; almost surely a
-///         typo for a different operand.
+///   W003  subtraction-annihilates — e ∸ e is the empty bag; almost surely
+///         a typo for a different operand.
 ///   W004  rewrite-missed — the optimizer still finds applicable rewrites;
 ///         the query is running in unoptimized form.
 ///   W005  powerset-blocks-fusion — a materializing P/P_b feeds a streaming
 ///         operator, so the fused IR engine cannot lower the plan and falls
 ///         back to tuple-at-a-time execution.
-///   E001  estimated-output-exceeds-budget — a subexpression's bound provably
-///         exceeds the configured CostBudget (the admission check of
-///         static_cost.h surfaced as a diagnostic).
+///   W006  redundant-dup-elim — ε applied to an expression that is already
+///         provably duplicate-free (a set-like input or literal, another ε,
+///         a powerset, or an operator that preserves dup-freedom). The IR
+///         drop-redundant-dup-elim pass removes it at runtime; the query
+///         text can drop it too.
+///   W007  dead-columns-in-projection — a MAP builds a k-column tuple of
+///         which the consuming operator reads only a strict subset. The IR
+///         dead-column-elimination pass narrows it at runtime; the source
+///         projection can be narrowed too.
+///   E001  estimated-output-exceeds-budget — a subexpression's bound
+///         provably exceeds the configured CostBudget (the admission check
+///         of static_cost.h surfaced as a diagnostic).
 ///
 /// New rules register through LintRuleRegistry (see docs/STATIC_ANALYSIS.md
 /// for a worked example).
+///
+/// Ordering and stability contract (pinned by LintRegistryTest): rules run
+/// in registration order, and the built-ins register in the code order
+/// above (W001..W007 then E001); re-registering an existing code replaces
+/// the rule *in place*, keeping its position. RunLint therefore returns
+/// diagnostics grouped by rule in that stable order, and within one rule in
+/// the pre-order position of the offending node — diagnostic order is part
+/// of the API surface (scripts diff lint output) and must not change when
+/// rules are re-registered.
 
 #include <functional>
 #include <string>

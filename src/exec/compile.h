@@ -9,6 +9,12 @@
 /// lambda bodies restricted to object level (τ / α / const / the binder).
 /// Everything else returns Unsupported — callers fall back to the
 /// tree-walking evaluator.
+///
+/// The fused IR engine (src/ir) lowers the same fragment; its plans are
+/// additionally checked by the IR verifier after every optimization pass
+/// (src/ir/verify.h, on by default in Debug and under BAGALG_IR_VERIFY=1),
+/// so engine dispatch (Engine::kAuto below) only ever runs verified IR
+/// plans or this module's Volcano pipeline.
 
 #include <functional>
 

@@ -26,6 +26,7 @@
 /// interpreter.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -128,13 +129,28 @@ struct IrNode {
   /// The source subexpression this node was lowered from. Keeps the Expr
   /// alive for kBridge re-compilation and provenance in explain ir.
   Expr origin;
+
+  /// Deep-copies the pipeline tree. Cheap relative to node count: Bag,
+  /// Value, and Expr members are shared-handle copies. Used by the
+  /// translation-validation harness to snapshot a plan around each pass.
+  std::unique_ptr<IrNode> Clone() const;
 };
+
+/// Deep structural equality of two pipeline trees (kinds, scan payloads,
+/// join/merge configuration, stage programs, CSE marks). Annotation-only
+/// fields (cost_note, est_rows, origin identity) are ignored: two plans
+/// that execute identically compare equal.
+bool IrEquals(const IrNode& a, const IrNode& b);
 
 struct PassStats {
   size_t filters_pushed = 0;      ///< predicate pushdowns (incl. join sides)
   size_t projections_pushed = 0;  ///< projection/column-remap pushdowns
   size_t hash_joins = 0;          ///< σ∘× pairs promoted to hash joins
   size_t cse_nodes = 0;           ///< blocking nodes marked for result reuse
+  // Fact-driven passes (dataflow.h facts feed these; see passes.cc).
+  size_t dead_columns = 0;     ///< columns pruned from join sides / gathers
+  size_t dup_elims_removed = 0;  ///< kDupElim dropped on proven-dup-free input
+  size_t const_folds = 0;      ///< constant-folded stages / emptied plans
 };
 
 /// A lowered, pass-processed plan ready for ExecuteIr.
@@ -154,7 +170,13 @@ size_t CountFusedStages(const IrNode& node);
 /// Renders the pipeline tree: one line per node with kind, details, fused
 /// stages, batch size header, and cost annotations. The format is covered
 /// by tests; keep it stable.
-std::string ExplainIrPlan(const IrPlan& plan);
+///
+/// `annotate`, when set, is called once per node and its return value (if
+/// non-empty) is appended to that node's line — the hook behind
+/// `explain ir --facts` (verify.h renders dataflow facts through it).
+using IrNodeAnnotator = std::function<std::string(const IrNode&)>;
+std::string ExplainIrPlan(const IrPlan& plan,
+                          const IrNodeAnnotator& annotate = nullptr);
 
 }  // namespace bagalg::ir
 

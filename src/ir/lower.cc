@@ -8,7 +8,9 @@
 #include "src/algebra/rewrite.h"
 #include "src/algebra/typecheck.h"
 #include "src/analysis/static_cost.h"
+#include "src/ir/dataflow.h"
 #include "src/ir/passes.h"
+#include "src/ir/verify.h"
 
 namespace bagalg::ir {
 
@@ -212,7 +214,12 @@ Result<IrPlan> LowerToIr(const Expr& expr, const Database& db,
   plan.batch_size =
       options.batch_size == 0 ? kDefaultBatchSize : options.batch_size;
   plan.rewrites = std::move(rewrites);
-  RunPasses(&plan);
+  PassOptions pass_options;
+  pass_options.verify_each =
+      options.verify == LowerOptions::Verify::kOn ||
+      (options.verify == LowerOptions::Verify::kAuto && IrVerifyEnabled());
+  pass_options.observer = options.observer;
+  BAGALG_RETURN_IF_ERROR(RunPasses(&plan, pass_options));
 
   if (options.annotate_costs) {
     Result<analysis::CostAnalysis> costs = analysis::AnalyzeCost(
@@ -228,6 +235,17 @@ Result<std::string> ExplainIr(const Expr& expr, const Database& db,
                               const LowerOptions& options) {
   BAGALG_ASSIGN_OR_RETURN(IrPlan plan, LowerToIr(expr, db, options));
   return ExplainIrPlan(plan);
+}
+
+Result<std::string> ExplainIrFacts(const Expr& expr, const Database& db,
+                                   const LowerOptions& options) {
+  BAGALG_ASSIGN_OR_RETURN(IrPlan plan, LowerToIr(expr, db, options));
+  BAGALG_ASSIGN_OR_RETURN(IrFactsMap facts, ComputeIrFacts(plan));
+  return ExplainIrPlan(plan, [&facts](const IrNode& node) -> std::string {
+    auto it = facts.find(&node);
+    if (it == facts.end()) return std::string();
+    return it->second.ToString();
+  });
 }
 
 }  // namespace bagalg::ir

@@ -20,6 +20,7 @@
 #include "src/algebra/database.h"
 #include "src/algebra/expr.h"
 #include "src/ir/ir.h"
+#include "src/ir/passes.h"
 #include "src/util/result.h"
 
 namespace bagalg::ir {
@@ -39,6 +40,14 @@ struct LowerOptions {
   bool merges_via_bridge = false;
   /// Rows per batch for the produced plan.
   size_t batch_size = kDefaultBatchSize;
+  /// Per-pass plan verification (verify.h): kAuto follows IrVerifyEnabled()
+  /// — on in assert-enabled builds and whenever BAGALG_IR_VERIFY=1 — so
+  /// Release builds can opt in without recompiling; kOn/kOff force it.
+  enum class Verify { kAuto, kOn, kOff };
+  Verify verify = Verify::kAuto;
+  /// Pass snapshot observer (passes.h), the hook translation validation
+  /// hangs its before/after executions on. Null for none.
+  PassObserver observer;
 };
 
 /// Lowers `expr` against `db` into a pass-processed IR plan. kUnsupported
@@ -50,6 +59,12 @@ Result<IrPlan> LowerToIr(const Expr& expr, const Database& db,
 /// EXPLAIN IR: lower + render the fused pipeline tree (ExplainIrPlan).
 Result<std::string> ExplainIr(const Expr& expr, const Database& db,
                               const LowerOptions& options = {});
+
+/// EXPLAIN IR --facts: like ExplainIr, with each node annotated with its
+/// dataflow facts (dataflow.h) — proven row shape, dup-freedom, keys,
+/// constant columns, and distinct-row interval.
+Result<std::string> ExplainIrFacts(const Expr& expr, const Database& db,
+                                   const LowerOptions& options = {});
 
 }  // namespace bagalg::ir
 

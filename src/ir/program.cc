@@ -53,11 +53,44 @@ Result<RowProgram> RowProgram::Compile(const Expr& body) {
   return program;
 }
 
+RowProgram RowProgram::Constant(Value v) {
+  RowProgram program;
+  program.insns_.push_back({OpCode::kLoadConst, 0});
+  program.consts_.push_back(std::move(v));
+  program.Reclassify();
+  return program;
+}
+
+RowProgram RowProgram::GatherOf(const std::vector<size_t>& fields) {
+  RowProgram program;
+  for (size_t f : fields) {
+    program.insns_.push_back({OpCode::kLoadRow, 0});
+    program.insns_.push_back({OpCode::kProjField, static_cast<uint32_t>(f)});
+  }
+  program.insns_.push_back(
+      {OpCode::kMakeTuple, static_cast<uint32_t>(fields.size())});
+  program.Reclassify();
+  return program;
+}
+
 void RowProgram::Reclassify() {
   identity_ = false;
   field_ref_.reset();
   gather_.reset();
+  const_val_.reset();
   const auto& p = insns_;
+  // Row-independent programs compute one value for every input; fold it
+  // now so stages built from them can run (and be folded) without the
+  // stack machine. A malformed constant body (projection off a non-tuple
+  // constant) simply stays unclassified and fails at Run time.
+  if (!p.empty() &&
+      std::none_of(p.begin(), p.end(), [](const Insn& insn) {
+        return insn.op == OpCode::kLoadRow;
+      })) {
+    Result<Value> folded = Run(Value::Tuple({}));
+    if (folded.ok()) const_val_ = std::move(folded).value();
+    return;
+  }
   if (p.size() == 1 && p[0].op == OpCode::kLoadRow) {
     identity_ = true;
     return;

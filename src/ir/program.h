@@ -54,6 +54,15 @@ class RowProgram {
   /// leaves the pipeline lambda fragment (bag operators, deeper binders).
   static Result<RowProgram> Compile(const Expr& body);
 
+  /// λx. v — a program that ignores the row and produces `v`. The
+  /// const-fold pass rewrites provably-constant stages to this shape.
+  static RowProgram Constant(Value v);
+
+  /// λx. τ(α_a1(x), ..., α_ak(x)) for the given 1-based field list; the
+  /// empty list yields λx. τ() (a constant). The dead-column pass builds
+  /// narrowing projections with this.
+  static RowProgram GatherOf(const std::vector<size_t>& fields);
+
   /// λx. x — the program is a pass-through.
   bool IsIdentity() const { return identity_; }
 
@@ -64,6 +73,10 @@ class RowProgram {
   /// otherwise. The basis of the projection fast path and of column-remap
   /// pushdowns.
   const std::optional<std::vector<size_t>>& Gather() const { return gather_; }
+
+  /// The program's value when it never reads the row (no kLoadRow): the
+  /// same value for every input. nullopt for row-dependent programs.
+  const std::optional<Value>& ConstantValue() const { return const_val_; }
 
   /// The distinct top-level row columns this program reads (1-based,
   /// sorted). nullopt when the whole row escapes (identity, or the row used
@@ -100,6 +113,7 @@ class RowProgram {
   bool identity_ = false;
   std::optional<size_t> field_ref_;
   std::optional<std::vector<size_t>> gather_;
+  std::optional<Value> const_val_;
 };
 
 }  // namespace bagalg::ir

@@ -288,9 +288,17 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
     } else if (sub == "ir") {
       // `explain ir EXPR`: the fused pipeline tree the IR engine would
       // run — batch size, fused stages per node, hash-join promotions,
-      // pushdown counts, and static_cost row bounds.
-      BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(analyze_rest));
-      BAGALG_ASSIGN_OR_RETURN(plan, ir::ExplainIr(e, db_));
+      // pushdown counts, and static_cost row bounds. `explain ir --facts
+      // EXPR` additionally annotates each node with its proven dataflow
+      // facts (shape, dup-freedom, keys, constant columns, row interval).
+      auto [flag, facts_rest] = SplitCommand(analyze_rest);
+      if (flag == "--facts") {
+        BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(facts_rest));
+        BAGALG_ASSIGN_OR_RETURN(plan, ir::ExplainIrFacts(e, db_));
+      } else {
+        BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(analyze_rest));
+        BAGALG_ASSIGN_OR_RETURN(plan, ir::ExplainIr(e, db_));
+      }
     } else {
       BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
       BAGALG_ASSIGN_OR_RETURN(plan, ExplainExpr(e, db_.schema()));

@@ -25,6 +25,9 @@
 ///   explain ir EXPR           print the fused pipeline tree of the IR
 ///                             engine: batch size, fused stages, hash-join
 ///                             promotions, pushdowns, row bounds
+///   explain ir --facts EXPR   same, with each node annotated with its
+///                             proven dataflow facts: shape, dup-freedom,
+///                             keys, constant columns, row interval
 ///   fragment K EXPR           check membership in BALG^K
 ///   optimize EXPR             print the rewritten expression
 ///   dump                      print the database as a replayable script
