@@ -1,0 +1,208 @@
+// Server-stack benchmarks: the per-request costs a bagalgd deployment
+// actually pays. Three layers, separately measurable so regressions
+// localize:
+//
+//  - envelope parsing (src/net/json_reader) and wire serialization /
+//    framing (src/net/wire) as pure CPU microbenches;
+//  - full loopback round trips against an in-process Server — one
+//    keep-alive connection issuing POST /v1/statement (engine path) and
+//    GET /healthz (no-engine path), so the preflight/admission/executor
+//    pipeline is on the measured path.
+//
+// Collected by bench/run_benchmarks.sh into BENCH_bench_server.json.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/core/value.h"
+#include "src/net/http.h"
+#include "src/net/io.h"
+#include "src/net/json_reader.h"
+#include "src/net/server.h"
+#include "src/net/wire.h"
+
+namespace bagalg::net {
+namespace {
+
+// ------------------------------------------------------------- parsing
+
+void BM_ParseStatementEnvelope(benchmark::State& state) {
+  const std::string doc =
+      R"js({"session":"bench","statement":"eval uplus(X, X)","timeout_ms":250})js";
+  for (auto _ : state) {
+    auto parsed = ParseJson(doc);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_ParseStatementEnvelope);
+
+// --------------------------------------------------------------- wire
+
+Bag MakeBag(int64_t entries) {
+  Bag::Builder builder(Type::Atom());
+  for (int64_t i = 0; i < entries; ++i) {
+    builder.Add(Value::Atom(GlobalAtomTable().Intern(
+                    "bench_wire_" + std::to_string(i))),
+                static_cast<uint64_t>(i + 1));
+  }
+  return *std::move(builder).Build();
+}
+
+void BM_BagToWireJson(benchmark::State& state) {
+  const Bag bag = MakeBag(state.range(0));
+  std::string json;
+  for (auto _ : state) {
+    json = BagToWireJson(bag);
+    benchmark::DoNotOptimize(json);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(json.size()));
+}
+BENCHMARK(BM_BagToWireJson)->Arg(8)->Arg(256)->Arg(4096);
+
+void BM_FrameRoundTrip(benchmark::State& state) {
+  const std::string payload = BagToWireJson(MakeBag(state.range(0)));
+  for (auto _ : state) {
+    const std::string frame = EncodeFrame(WireFormat::kJson, payload);
+    size_t consumed = 0;
+    auto decoded = DecodeFrame(frame, &consumed);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_FrameRoundTrip)->Arg(8)->Arg(4096);
+
+// ------------------------------------------------------------ loopback
+
+// One keep-alive connection to an in-process server. The response parser
+// is deliberately minimal: read headers, then Content-Length body bytes.
+class LoopbackClient {
+ public:
+  explicit LoopbackClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LoopbackClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LoopbackClient(const LoopbackClient&) = delete;
+  LoopbackClient& operator=(const LoopbackClient&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  // Returns the raw response (headers + body), empty on failure.
+  std::string RoundTrip(const std::string& method, const std::string& path,
+                        const std::string& body) {
+    const std::string request = method + " " + path +
+                                " HTTP/1.1\r\nHost: bench\r\nContent-Length: " +
+                                std::to_string(body.size()) + "\r\n\r\n" + body;
+    if (!WriteAll(fd_, request).ok()) return "";
+    std::string response;
+    size_t header_end = std::string::npos;
+    size_t content_length = 0;
+    char chunk[8192];
+    while (true) {
+      if (header_end == std::string::npos) {
+        header_end = response.find("\r\n\r\n");
+        if (header_end != std::string::npos) {
+          const size_t cl = response.find("Content-Length: ");
+          if (cl == std::string::npos || cl > header_end) return "";
+          content_length = static_cast<size_t>(
+              std::strtoull(response.c_str() + cl + 16, nullptr, 10));
+        }
+      }
+      if (header_end != std::string::npos &&
+          response.size() >= header_end + 4 + content_length) {
+        return response;
+      }
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      response.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+uint16_t SharedServerPort() {
+  static const uint16_t port = [] {
+    ServerOptions options;
+    options.executors = 2;
+    // Leaked deliberately: the server serves every benchmark iteration
+    // until process exit.
+    auto started = Server::Start(std::move(options));
+    static std::unique_ptr<Server> server = std::move(*started);
+    LoopbackClient setup(server->port());
+    setup.RoundTrip(
+        "POST", "/v1/statement",
+        R"js({"session":"bench","statement":"let X = {{a, a, b, c}}"})js");
+    return server->port();
+  }();
+  return port;
+}
+
+void BM_LoopbackStatement(benchmark::State& state) {
+  LoopbackClient client(SharedServerPort());
+  if (!client.ok()) {
+    state.SkipWithError("loopback connect failed");
+    return;
+  }
+  const std::string body =
+      R"js({"session":"bench","statement":"eval uplus(X, X)"})js";
+  for (auto _ : state) {
+    const std::string response =
+        client.RoundTrip("POST", "/v1/statement", body);
+    if (response.find("\"outcome\":\"ok\"") == std::string::npos) {
+      state.SkipWithError("statement round trip failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoopbackStatement);
+
+void BM_LoopbackHealthz(benchmark::State& state) {
+  LoopbackClient client(SharedServerPort());
+  if (!client.ok()) {
+    state.SkipWithError("loopback connect failed");
+    return;
+  }
+  for (auto _ : state) {
+    const std::string response = client.RoundTrip("GET", "/healthz", "");
+    if (response.find("200 OK") == std::string::npos) {
+      state.SkipWithError("healthz round trip failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoopbackHealthz);
+
+}  // namespace
+}  // namespace bagalg::net
+
+BENCHMARK_MAIN();

@@ -21,7 +21,9 @@
 #include <sstream>
 #include <string>
 
+#include "src/exec/compile.h"
 #include "src/lang/script.h"
+#include "src/util/build_info.h"
 
 using namespace bagalg;
 
@@ -86,7 +88,9 @@ int main(int argc, char** argv) {
 
   bool interactive = true;
   if (interactive) {
-    std::cout << "bagalg — a nested bag algebra (Grumbach & Milo, PODS'93)\n"
+    std::cout << BuildInfoString() << " engine="
+              << exec::EngineName(exec::EngineFromEnv()) << "\n"
+              << "bagalg — a nested bag algebra (Grumbach & Milo, PODS'93)\n"
               << "commands: let, schema, eval, count, exec, type, analyze, "
                  "explain [analyze|cost|ir], optimize, stats, timing, \\lint, "
                  "\\budget, \\timeout, \\memlimit, \\metrics, \\trace, "

@@ -3,6 +3,7 @@
 namespace bagalg {
 
 AtomId AtomTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = ids_.find(std::string(name));
   if (it != ids_.end()) return it->second;
   AtomId id = static_cast<AtomId>(names_.size());
@@ -12,14 +13,21 @@ AtomId AtomTable::Intern(std::string_view name) {
 }
 
 std::optional<AtomId> AtomTable::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = ids_.find(std::string(name));
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
 std::string AtomTable::NameOf(AtomId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id < names_.size()) return names_[id];
   return "#" + std::to_string(id);
+}
+
+size_t AtomTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
 }
 
 AtomTable& GlobalAtomTable() {

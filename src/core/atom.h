@@ -12,6 +12,7 @@
 /// other than its identity — names exist only at the I/O boundary.
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -25,9 +26,12 @@ using AtomId = uint32_t;
 
 /// Bidirectional mapping between atom ids and their printable names.
 ///
-/// Interning is append-only; ids are dense starting at 0. Not thread-safe;
-/// bagalg evaluation is single-threaded by design (the complexity
-/// experiments measure sequential work).
+/// Interning is append-only; ids are dense starting at 0. Thread-safe: the
+/// evaluator itself is single-threaded per query, but bagalgd parses and
+/// prints statements for many sessions concurrently, and they all intern
+/// into the global table. A plain mutex suffices — interning happens at the
+/// I/O boundary (parse/print), never inside kernel loops, so the lock is
+/// nowhere near a hot path.
 class AtomTable {
  public:
   AtomTable() = default;
@@ -43,9 +47,10 @@ class AtomTable {
   std::string NameOf(AtomId id) const;
 
   /// Number of interned atoms.
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, AtomId> ids_;
 };

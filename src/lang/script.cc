@@ -13,6 +13,7 @@
 #include "src/ir/lower.h"
 #include "src/lang/parser.h"
 #include "src/obs/metrics.h"
+#include "src/util/build_info.h"
 #include "src/util/strings.h"
 
 namespace bagalg::lang {
@@ -75,6 +76,19 @@ ScriptRunner::ScriptRunner(Limits limits)
   // last-K-spans black box without accumulating an unbounded trace.
   tracer_.set_flight_recorder(&flight_);
   SyncTracerMode();
+  // Exported journals lead with the build identity (docs/OBSERVABILITY.md):
+  // which binary, which commit, which default engine produced the entries.
+  journal_.set_header_json(
+      "{\"header\":true,\"build\":" + BuildInfoJson() +
+      ",\"engine_default\":" +
+      std::string("\"") + exec::EngineName(exec::EngineFromEnv()) + "\"}");
+}
+
+void ScriptRunner::set_budget(std::optional<analysis::CostBudget> budget) {
+  budget_ = std::move(budget);
+  evaluator_.set_preflight(
+      budget_.has_value() ? analysis::MakeBudgetPreflight(*budget_)
+                          : Evaluator::Preflight{});
 }
 
 void ScriptRunner::SyncTracerMode() {
@@ -175,6 +189,7 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
 
   if (cmd == "eval" || cmd == "count") {
     BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    last_result_.reset();
     obs::JournalEntry entry = BeginJournalEntry(cmd, rest, e);
     entry.engine = "eval";
     uint64_t steps_before = evaluator_.stats().steps;
@@ -198,6 +213,7 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
     }
     FinishStatement(entry, vr.status(), *governed.get());
     BAGALG_ASSIGN_OR_RETURN(Value v, std::move(vr));
+    last_result_ = v;
     obs::GlobalMetrics().GetCounter("repl.eval.steps")->Increment(steps);
     obs::GlobalMetrics().GetHistogram("repl.eval.wall_us")
         ->Observe(wall_ns / 1000);
@@ -223,6 +239,7 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
     // with tracing on, per-pipeline spans land in the same trace as the
     // evaluator's.
     BAGALG_ASSIGN_OR_RETURN(Expr e, ParseExpr(rest));
+    last_result_.reset();
     obs::JournalEntry entry = BeginJournalEntry(cmd, rest, e);
     uint64_t t0 = obs::MonotonicNowNs();
     uint64_t cpu0 = obs::ThreadCpuNowNs();
@@ -245,7 +262,8 @@ Result<std::string> ScriptRunner::RunCommand(const std::string& line) {
     if (br.ok()) entry.result_distinct = uint64_t{br->DistinctCount()};
     FinishStatement(entry, br.status(), governor);
     BAGALG_ASSIGN_OR_RETURN(Bag b, std::move(br));
-    std::string out = Value::FromBag(b).ToString();
+    last_result_ = Value::FromBag(b);
+    std::string out = last_result_->ToString();
     if (timing_) {
       std::ostringstream os;
       os << out << "\n(time=" << static_cast<double>(wall_ns) / 1e6 << "ms)";

@@ -138,6 +138,20 @@ class ScriptRunner {
   uint64_t timeout_ms() const { return timeout_ms_; }
   uint64_t memlimit_bytes() const { return memlimit_bytes_; }
 
+  /// Programmatic equivalents of \timeout, \memlimit, and \budget — bagalgd
+  /// configures each session's defaults through these instead of
+  /// synthesizing command lines. 0 / nullopt turn the limit off.
+  void set_timeout_ms(uint64_t ms) { timeout_ms_ = ms; }
+  void set_memlimit_bytes(uint64_t bytes) { memlimit_bytes_ = bytes; }
+  void set_budget(std::optional<analysis::CostBudget> budget);
+
+  /// The structured result of the most recent successful eval/exec
+  /// statement (count results are bags too and land here). Cleared at the
+  /// start of each statement; nullopt after failures and non-result
+  /// commands. bagalgd serializes this through net/wire.h instead of
+  /// re-parsing the printable output.
+  const std::optional<Value>& last_result() const { return last_result_; }
+
  private:
   Result<std::string> RunCommand(const std::string& line);
 
@@ -162,6 +176,7 @@ class ScriptRunner {
 
   Database db_;
   Evaluator evaluator_;
+  std::optional<Value> last_result_;
   obs::Tracer tracer_;
   obs::FlightRecorder flight_;
   obs::QueryJournal journal_;

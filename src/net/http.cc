@@ -1,0 +1,224 @@
+#include "src/net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "src/net/io.h"
+#include "src/util/status.h"
+
+namespace bagalg::net {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Blocks until at least one more byte lands in `buffer`, polling
+/// `should_stop` at limits.read_poll_ms granularity. kCancelled when the
+/// peer closed (clean) or a drain began; kUnavailable on io faults.
+Status FillMore(int fd, std::string* buffer, const HttpLimits& limits,
+                const std::function<bool()>& should_stop) {
+  char chunk[4096];
+  while (true) {
+    if (should_stop && should_stop()) {
+      return Status::Cancelled("draining");
+    }
+    BAGALG_ASSIGN_OR_RETURN(int ready,
+                            PollReadable(fd, limits.read_poll_ms));
+    if (ready == 0) continue;
+    BAGALG_ASSIGN_OR_RETURN(size_t n, ReadSome(fd, chunk, sizeof(chunk)));
+    if (n == 0) return Status::Cancelled("connection closed");
+    buffer->append(chunk, n);
+    return Status::Ok();
+  }
+}
+
+Status ParseRequestHead(std::string_view head, HttpRequest* out) {
+  const size_t line_end = head.find("\r\n");
+  const std::string_view request_line = head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Status::ParseError("http: malformed request line");
+  }
+  out->method = std::string(request_line.substr(0, sp1));
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::ParseError("http: unsupported version");
+  }
+  if (target.empty() || target[0] != '/') {
+    return Status::ParseError("http: bad request target");
+  }
+  const size_t q = target.find('?');
+  out->path = std::string(target.substr(0, q));
+  out->query =
+      q == std::string_view::npos ? "" : std::string(target.substr(q + 1));
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("http: malformed header line");
+    }
+    const std::string name = ToLower(Trim(line.substr(0, colon)));
+    if (name.empty()) return Status::ParseError("http: empty header name");
+    out->headers[name] = std::string(Trim(line.substr(colon + 1)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<HttpRequest> ReadHttpRequest(int fd, std::string* buffer,
+                                    const HttpLimits& limits,
+                                    const std::function<bool()>& should_stop) {
+  // Accumulate until the header terminator, within the header cap.
+  size_t head_end;
+  while ((head_end = buffer->find("\r\n\r\n")) == std::string::npos) {
+    if (buffer->size() > limits.max_header_bytes) {
+      return Status::ResourceExhausted("http: header block exceeds " +
+                                       std::to_string(limits.max_header_bytes) +
+                                       " bytes");
+    }
+    BAGALG_RETURN_IF_ERROR(FillMore(fd, buffer, limits, should_stop));
+  }
+
+  HttpRequest request;
+  BAGALG_RETURN_IF_ERROR(
+      ParseRequestHead(std::string_view(*buffer).substr(0, head_end),
+                       &request));
+
+  size_t body_len = 0;
+  if (auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || it->second.empty()) {
+      return Status::ParseError("http: bad Content-Length");
+    }
+    if (v > limits.max_body_bytes) {
+      return Status::ResourceExhausted("http: body of " + it->second +
+                                       " bytes exceeds cap of " +
+                                       std::to_string(limits.max_body_bytes));
+    }
+    body_len = static_cast<size_t>(v);
+  }
+  if (request.headers.count("transfer-encoding") != 0) {
+    return Status::ParseError("http: chunked bodies unsupported");
+  }
+
+  const size_t body_start = head_end + 4;
+  while (buffer->size() < body_start + body_len) {
+    // Mid-request EOF/drain is a vanished peer, not a clean close: the
+    // request is torn, so surface it as a connection-level io error.
+    Status st = FillMore(fd, buffer, limits, should_stop);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kCancelled) {
+        return Status::Unavailable("io: connection closed mid-request");
+      }
+      return st;
+    }
+  }
+  request.body = buffer->substr(body_start, body_len);
+  buffer->erase(0, body_start + body_len);
+  return request;
+}
+
+Status WriteHttpResponse(int fd, const HttpResponse& response) {
+  std::string out;
+  out.reserve(256 + response.body.size());
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(response.status));
+  out.push_back(' ');
+  out.append(HttpReasonPhrase(response.status));
+  out.append("\r\nContent-Type: ");
+  out.append(response.content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(response.body.size()));
+  for (const auto& [name, value] : response.extra_headers) {
+    out.append("\r\n");
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+  }
+  if (response.close) out.append("\r\nConnection: close");
+  out.append("\r\n\r\n");
+  out.append(response.body);
+  return WriteAll(fd, out);
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Content";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 507: return "Insufficient Storage";
+    default:  return "Status";
+  }
+}
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kTypeError:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kUnsupported:
+      return 501;
+    // Admission refusal (E001): the statement was never executed and never
+    // will be — a client bug or an oversized ask, not server load.
+    case StatusCode::kBudgetExceeded:
+      return 422;
+    // Governor memcap trip: the statement ran and outgrew its cap.
+    case StatusCode::kResourceExhausted:
+      return 507;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kCancelled:
+      return 499;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+}  // namespace bagalg::net

@@ -1,0 +1,84 @@
+#ifndef BAGALG_NET_HTTP_H_
+#define BAGALG_NET_HTTP_H_
+
+/// \file http.h
+/// A deliberately small HTTP/1.1 server-side implementation: exactly what
+/// bagalgd needs — request parsing with hard caps, keep-alive, and response
+/// emission — and nothing it does not (no chunked bodies, no TLS, no
+/// multipart). Every limit violation and malformation is a typed Status so
+/// the connection loop can answer 400/413 instead of guessing.
+///
+/// Also home of the StatusCode → HTTP status mapping, the outward face of
+/// the retryability contract in src/util/status.h: retryable codes map to
+/// statuses clients treat as transient (429/499/503/504), permanent codes
+/// to 4xx/5xx they must not blindly retry.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace bagalg::net {
+
+struct HttpLimits {
+  /// Cap on the request line + headers block. Exceeding it is a 431-shaped
+  /// kResourceExhausted.
+  size_t max_header_bytes = 16 * 1024;
+  /// Cap on Content-Length. Exceeding it is a 413-shaped
+  /// kResourceExhausted; a statement this large is an attack, not a query.
+  size_t max_body_bytes = 1024 * 1024;
+  /// Poll granularity while waiting for request bytes; bounds how long a
+  /// drain waits on an idle keep-alive connection.
+  int read_poll_ms = 100;
+};
+
+struct HttpRequest {
+  std::string method;  // uppercase as sent: GET, POST, ...
+  std::string path;    // target up to '?'
+  std::string query;   // after '?', possibly empty
+  /// Header names lowercased; last occurrence wins.
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// Reads one request from `fd`. `buffer` carries bytes left over from the
+/// previous request on this connection (keep-alive pipelining) and must
+/// persist across calls. `should_stop` is polled while waiting for bytes;
+/// when it turns true between requests the read aborts with
+/// kCancelled("draining").
+///
+/// Error map: kCancelled = orderly close or drain (close quietly);
+/// kUnavailable = the peer vanished mid-request or injected io fault;
+/// kParseError = malformed request (answer 400); kResourceExhausted =
+/// header/body cap exceeded (answer 431/413).
+Result<HttpRequest> ReadHttpRequest(int fd, std::string* buffer,
+                                    const HttpLimits& limits,
+                                    const std::function<bool()>& should_stop);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;
+  /// Sends "Connection: close" and ends the connection after this response.
+  bool close = false;
+};
+
+/// Serializes and sends `response` (Content-Length framing, HTTP/1.1).
+Status WriteHttpResponse(int fd, const HttpResponse& response);
+
+/// Canonical reason phrase for the statuses bagalgd emits.
+const char* HttpReasonPhrase(int status);
+
+/// StatusCode → HTTP status. kUnavailable maps to 503; the admission queue
+/// uses 429 directly for shed (same retryable class, more precise signal).
+int HttpStatusForCode(StatusCode code);
+
+}  // namespace bagalg::net
+
+#endif  // BAGALG_NET_HTTP_H_

@@ -1,0 +1,139 @@
+#include "src/net/io.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/util/fault.h"
+
+namespace bagalg::net {
+
+namespace {
+
+Status Errno(std::string_view what) {
+  return Status::Unavailable("io: " + std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+}  // namespace
+
+void Fd::Reset() {
+  if (fd_ >= 0) {
+    if (::close(fd_) < 0 && errno == EINTR) ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Fd> ListenOn(const std::string& host, uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("io: bad listen address: " + host);
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) < 0) return Errno("listen");
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int listen_fd) {
+  sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<Fd> AcceptConnection(int listen_fd) {
+  // An injected accept fault models the kernel transiently refusing
+  // (EMFILE-shaped); both injected kinds are the same refusal here.
+  if (fault::InjectIoFault() != fault::IoFaultKind::kNone) {
+    return Status::Unavailable("io: injected accept failure");
+  }
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) continue;
+    if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
+        errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      return Errno("accept");
+    }
+    // EBADF/EINVAL: the drain path shut the listener down under us.
+    return Status::Cancelled("io: listener closed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+Result<size_t> ReadSome(int fd, char* buf, size_t len) {
+  if (len == 0) return static_cast<size_t>(0);
+  switch (fault::InjectIoFault()) {
+    case fault::IoFaultKind::kShort:
+      len = 1;
+      break;
+    case fault::IoFaultKind::kError:
+      return Status::Unavailable("io: injected disconnect (recv)");
+    case fault::IoFaultKind::kNone:
+      break;
+  }
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    size_t chunk = data.size() - off;
+    switch (fault::InjectIoFault()) {
+      case fault::IoFaultKind::kShort:
+        chunk = 1;
+        break;
+      case fault::IoFaultKind::kError:
+        return Status::Unavailable("io: injected broken pipe (send)");
+      case fault::IoFaultKind::kNone:
+        break;
+    }
+    const ssize_t n = ::send(fd, data.data() + off, chunk, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<int> PollReadable(int fd, int timeout_ms) {
+  pollfd pfd = {};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  while (true) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+}  // namespace bagalg::net

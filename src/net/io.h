@@ -1,0 +1,84 @@
+#ifndef BAGALG_NET_IO_H_
+#define BAGALG_NET_IO_H_
+
+/// \file io.h
+/// Socket I/O primitives for bagalgd, written for a hostile world.
+///
+/// Every primitive here (a) retries EINTR, (b) reports failures as typed
+/// Status values — kUnavailable for the transient, connection-scoped kind —
+/// and (c) consults the deterministic fault injector (`BAGALG_FAULT=io:...`)
+/// so the chaos suite can make any read short, any write fail EPIPE-shaped,
+/// and any accept stumble, on a reproducible schedule. Injected faults and
+/// real network faults take the same code paths on purpose: the tests that
+/// pass under `io:p=0.05` are the proof that a flaky network cannot crash
+/// the server, only produce typed io-error outcomes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/result.h"
+
+namespace bagalg::net {
+
+/// Owning file descriptor. Closing retries EINTR once and otherwise
+/// swallows errors (there is nothing useful to do with a failed close on a
+/// socket being torn down).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a TCP listener on host:port (port 0 = kernel-assigned, read back
+/// with LocalPort). SO_REUSEADDR is set so restarts do not trip TIME_WAIT.
+Result<Fd> ListenOn(const std::string& host, uint16_t port, int backlog);
+
+/// The port a listener is actually bound to.
+Result<uint16_t> LocalPort(int listen_fd);
+
+/// Accepts one connection. kUnavailable covers the transient accept
+/// failures (EMFILE/ENFILE/ECONNABORTED/EAGAIN and injected ones) — the
+/// accept loop should back off and keep going. Other errors (including a
+/// listener shut down for drain) are kCancelled.
+Result<Fd> AcceptConnection(int listen_fd);
+
+/// Reads up to `len` bytes. Returns 0 at orderly EOF. An injected short
+/// read transfers at most one byte (exercising every caller's resume
+/// loop); an injected error is an ECONNRESET-shaped kUnavailable.
+Result<size_t> ReadSome(int fd, char* buf, size_t len);
+
+/// Writes all of `data`, looping over partial writes. SIGPIPE is
+/// suppressed (MSG_NOSIGNAL); a dead peer is an EPIPE-shaped kUnavailable.
+/// Injected short writes shrink individual transfers to one byte; injected
+/// errors abort the write as kUnavailable.
+Status WriteAll(int fd, std::string_view data);
+
+/// Waits up to `timeout_ms` for `fd` to become readable. Returns 1 when
+/// readable (or the peer hung up), 0 on timeout.
+Result<int> PollReadable(int fd, int timeout_ms);
+
+}  // namespace bagalg::net
+
+#endif  // BAGALG_NET_IO_H_

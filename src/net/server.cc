@@ -1,0 +1,792 @@
+#include "src/net/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/static_cost.h"
+#include "src/exec/compile.h"
+#include "src/lang/script.h"
+#include "src/net/io.h"
+#include "src/net/json_reader.h"
+#include "src/net/wire.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/util/build_info.h"
+
+namespace bagalg::net {
+
+namespace {
+
+/// Session names are also journal file names: the charset excludes every
+/// path metacharacter by construction.
+bool ValidSessionName(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One resident session: the REPL engine behind a mutex. The cancellation
+/// token is a copy of the runner's (they share the flag), kept outside the
+/// mutex so drain can cancel an in-flight statement without blocking on it.
+struct Session {
+  explicit Session(std::string name) : id(std::move(name)) {
+    cancel = runner.cancel_token();
+  }
+  const std::string id;
+  std::mutex mu;
+  lang::ScriptRunner runner;  // guarded by mu
+  CancellationToken cancel;   // lock-free Cancel
+};
+
+/// What one statement execution produced, shipped from the executor back
+/// to the connection handler through a promise.
+struct StatementResult {
+  Status status = Status::Ok();
+  std::string output;
+  std::string result_json;  // wire JSON of the result value, when one exists
+  std::string outcome;      // "ok","budget-refused","deadline","memcap",...
+  std::string flight;       // flight-recorder dump when the governor tripped
+  uint64_t wall_us = 0;
+};
+
+struct ExecJob {
+  std::shared_ptr<Session> session;
+  std::string statement;
+  uint64_t timeout_ms = 0;
+  uint64_t memlimit_bytes = 0;
+  std::promise<StatementResult> done;
+};
+
+/// Aggregates the precise per-statement outcome word into the five typed
+/// buckets of the acceptance contract.
+enum class Bucket { kOk, kRefused, kShed, kTripped, kError };
+
+Bucket BucketFor(const std::string& outcome) {
+  if (outcome == "ok") return Bucket::kOk;
+  if (outcome == "budget-refused") return Bucket::kRefused;
+  if (outcome == "shed" || outcome == "draining") return Bucket::kShed;
+  if (outcome == "deadline" || outcome == "memcap" || outcome == "cancel" ||
+      outcome == "fault") {
+    return Bucket::kTripped;
+  }
+  return Bucket::kError;
+}
+
+/// Outcome word for statements that never reached the journal (parse
+/// errors, shed, refusal surfaced only as a Status).
+std::string OutcomeForStatus(const Status& status) {
+  if (status.ok()) return "ok";
+  switch (status.code()) {
+    case StatusCode::kBudgetExceeded: return "budget-refused";
+    case StatusCode::kDeadlineExceeded: return "deadline";
+    case StatusCode::kResourceExhausted: return "memcap";
+    case StatusCode::kCancelled: return "cancel";
+    case StatusCode::kUnavailable: return "shed";
+    default: return "error";
+  }
+}
+
+uint64_t EffectiveLimit(uint64_t requested, uint64_t server_default) {
+  if (requested == 0) return server_default;
+  if (server_default == 0) return requested;
+  return std::min(requested, server_default);
+}
+
+}  // namespace
+
+class Server::Impl {
+ public:
+  explicit Impl(ServerOptions options) : options_(std::move(options)) {}
+
+  ~Impl() {
+    RequestShutdown();
+    Wait();
+  }
+
+  Status Start() {
+    BAGALG_ASSIGN_OR_RETURN(
+        listen_fd_,
+        ListenOn(options_.host, options_.port, options_.backlog));
+    BAGALG_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_.get()));
+    listen_fd_raw_.store(listen_fd_.get(), std::memory_order_release);
+    const unsigned executors = std::max(1u, options_.executors);
+    executors_.reserve(executors);
+    for (unsigned i = 0; i < executors; ++i) {
+      executors_.emplace_back([this] { ExecutorLoop(); });
+    }
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return Status::Ok();
+  }
+
+  uint16_t port() const { return port_; }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  void RequestShutdown() {
+    // Async-signal-safe: one atomic store plus shutdown(2). The shutdown
+    // kicks the accept loop out of its blocking accept.
+    draining_.store(true, std::memory_order_release);
+    const int fd = listen_fd_raw_.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+
+  void Wait() {
+    while (!draining()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::lock_guard<std::mutex> lock(teardown_mu_);
+    if (torn_down_) return;
+    Teardown();
+    torn_down_ = true;
+  }
+
+  ServerStats stats() const {
+    ServerStats s;
+    s.requests = requests_.load();
+    s.ok = ok_.load();
+    s.refused = refused_.load();
+    s.shed = shed_.load();
+    s.tripped = tripped_.load();
+    s.errors = errors_.load();
+    s.io_errors = io_errors_.load();
+    s.sessions_created = sessions_created_.load();
+    s.sessions_closed = sessions_closed_.load();
+    s.connections_accepted = connections_accepted_.load();
+    s.connections_live = connections_live_.load();
+    s.draining = draining();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      s.sessions_live = sessions_.size();
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      s.queue_depth = queue_.size();
+    }
+    return s;
+  }
+
+ private:
+  // ------------------------------------------------------------ accept
+
+  void AcceptLoop() {
+    while (!draining()) {
+      auto conn = AcceptConnection(listen_fd_.get());
+      ReapFinishedHandlers();
+      if (!conn.ok()) {
+        if (draining() ||
+            conn.status().code() == StatusCode::kCancelled) {
+          break;
+        }
+        // Transient refusal (injected or EMFILE-shaped): the pending
+        // connection stays in the backlog; back off briefly and retry.
+        accept_retries_.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      connections_accepted_.fetch_add(1);
+      if (connections_live_.load() >= options_.max_connections) {
+        // Over the cap: answer with a typed 503 and close. Best-effort —
+        // the peer may already be gone.
+        HttpResponse resp = ErrorResponse(
+            503, Status::Unavailable("connection limit reached"), "shed");
+        resp.close = true;
+        resp.extra_headers.emplace_back("Retry-After", "1");
+        (void)WriteHttpResponse(conn->get(), resp);
+        shed_.fetch_add(1);
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      const uint64_t id = next_handler_id_++;
+      connections_live_.fetch_add(1);
+      handlers_.emplace(
+          id, std::thread([this, id, fd = std::move(*conn)]() mutable {
+            HandleConnection(id, std::move(fd));
+          }));
+    }
+  }
+
+  void ReapFinishedHandlers() {
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      for (const uint64_t id : finished_handlers_) {
+        auto it = handlers_.find(id);
+        if (it != handlers_.end()) {
+          done.push_back(std::move(it->second));
+          handlers_.erase(it);
+        }
+      }
+      finished_handlers_.clear();
+    }
+    for (std::thread& t : done) t.join();
+  }
+
+  // -------------------------------------------------------- connection
+
+  void HandleConnection(uint64_t id, Fd fd) {
+    std::string buffer;
+    while (!draining()) {
+      auto request = ReadHttpRequest(fd.get(), &buffer, options_.http,
+                                     [this] { return draining(); });
+      if (!request.ok()) {
+        const StatusCode code = request.status().code();
+        if (code == StatusCode::kParseError) {
+          errors_.fetch_add(1);
+          HttpResponse resp = ErrorResponse(400, request.status(), "error");
+          resp.close = true;
+          (void)WriteHttpResponse(fd.get(), resp);
+        } else if (code == StatusCode::kResourceExhausted) {
+          errors_.fetch_add(1);
+          const bool header_cap =
+              request.status().message().find("header") != std::string::npos;
+          HttpResponse resp = ErrorResponse(header_cap ? 431 : 413,
+                                            request.status(), "error");
+          resp.close = true;
+          (void)WriteHttpResponse(fd.get(), resp);
+        } else if (code == StatusCode::kUnavailable) {
+          io_errors_.fetch_add(1);
+        }
+        // kCancelled: orderly close or drain — nothing to answer.
+        break;
+      }
+      requests_.fetch_add(1);
+      HttpResponse response = Route(*request);
+      const auto conn_header = request->headers.find("connection");
+      if (conn_header != request->headers.end() &&
+          conn_header->second.find("close") != std::string::npos) {
+        response.close = true;
+      }
+      const Status write_status = WriteHttpResponse(fd.get(), response);
+      if (!write_status.ok()) {
+        io_errors_.fetch_add(1);
+        break;
+      }
+      if (response.close) break;
+    }
+    connections_live_.fetch_sub(1);
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    finished_handlers_.push_back(id);
+  }
+
+  // ----------------------------------------------------------- routing
+
+  HttpResponse Route(const HttpRequest& request) {
+    if (request.method == "GET") {
+      if (request.path == "/healthz") return Healthz();
+      if (request.path == "/metrics") return Metrics();
+      if (request.path == "/trace") return Trace();
+    } else if (request.method == "POST") {
+      if (request.path == "/v1/statement") return Statement(request);
+      if (request.path == "/v1/session/close") return CloseSession(request);
+    }
+    if (request.path == "/healthz" || request.path == "/metrics" ||
+        request.path == "/trace" || request.path == "/v1/statement" ||
+        request.path == "/v1/session/close") {
+      errors_.fetch_add(1);
+      return ErrorResponse(
+          405, Status::InvalidArgument("method not allowed on " +
+                                       request.path),
+          "error");
+    }
+    errors_.fetch_add(1);
+    return ErrorResponse(
+        404, Status::NotFound("no such endpoint: " + request.path), "error");
+  }
+
+  HttpResponse Healthz() {
+    const ServerStats s = stats();
+    std::string body = "{\"status\":";
+    body += s.draining ? "\"draining\"" : "\"serving\"";
+    body += ",\"build\":" + BuildInfoJson();
+    body += ",\"engine_default\":" +
+            obs::JsonQuote(exec::EngineName(exec::EngineFromEnv()));
+    body += ",\"sessions\":" + std::to_string(s.sessions_live);
+    body += ",\"connections\":" + std::to_string(s.connections_live);
+    body += ",\"queue_depth\":" + std::to_string(s.queue_depth);
+    body += ",\"requests\":" + std::to_string(s.requests);
+    body += "}";
+    HttpResponse resp;
+    resp.body = std::move(body);
+    return resp;
+  }
+
+  HttpResponse Metrics() {
+    obs::MirrorGovernorStats();
+    MirrorServerStats();
+    HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4";
+    resp.body = obs::GlobalMetrics().Snapshot().ToPrometheusText();
+    return resp;
+  }
+
+  HttpResponse Trace() {
+    std::vector<std::shared_ptr<Session>> sessions;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions.reserve(sessions_.size());
+      for (const auto& [name, session] : sessions_) {
+        sessions.push_back(session);
+      }
+    }
+    std::string body = "{\"sessions\":[";
+    bool first_session = true;
+    for (const auto& session : sessions) {
+      std::lock_guard<std::mutex> lock(session->mu);
+      if (!first_session) body += ",";
+      first_session = false;
+      body += "{\"id\":" + obs::JsonQuote(session->id) + ",\"entries\":[";
+      bool first_entry = true;
+      for (const auto& entry : session->runner.journal().Tail(8)) {
+        if (!first_entry) body += ",";
+        first_entry = false;
+        body += entry.ToJsonLine();
+      }
+      body += "]}";
+    }
+    body += "]}";
+    HttpResponse resp;
+    resp.body = std::move(body);
+    return resp;
+  }
+
+  HttpResponse Statement(const HttpRequest& request) {
+    auto doc = ParseJson(request.body);
+    if (!doc.ok() || !doc->is_object()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(
+          400,
+          doc.ok() ? Status::InvalidArgument("request body must be a JSON "
+                                             "object")
+                   : doc.status(),
+          "error");
+    }
+    const std::string session_name = doc->GetString("session", "default");
+    if (!ValidSessionName(session_name)) {
+      errors_.fetch_add(1);
+      return ErrorResponse(
+          400,
+          Status::InvalidArgument(
+              "session names are [A-Za-z0-9_-]{1,64}"),
+          "error");
+    }
+    const JsonValue* statement = doc->Find("statement");
+    if (statement == nullptr || !statement->is_string() ||
+        statement->string.empty()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(
+          400, Status::InvalidArgument("missing \"statement\" string"),
+          "error");
+    }
+
+    if (draining()) return ShedResponse(503, "draining for shutdown");
+
+    auto session = GetOrCreateSession(session_name);
+    if (!session.ok()) return ShedResponse(503, session.status().message());
+
+    ExecJob job;
+    job.session = *session;
+    job.statement = statement->string;
+    job.timeout_ms = EffectiveLimit(doc->GetUint("timeout_ms", 0),
+                                    options_.default_timeout_ms);
+    job.memlimit_bytes = EffectiveLimit(doc->GetUint("memlimit_bytes", 0),
+                                        options_.default_memlimit_bytes);
+    std::future<StatementResult> done = job.done.get_future();
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (draining()) return ShedResponse(503, "draining for shutdown");
+      if (queue_.size() >= options_.queue_capacity) {
+        const size_t depth = queue_.size();
+        const unsigned lanes = std::max(1u, options_.executors);
+        const uint64_t retry_after = 1 + depth / lanes;
+        HttpResponse resp = ShedResponse(429, "admission queue full");
+        resp.extra_headers.clear();
+        resp.extra_headers.emplace_back("Retry-After",
+                                        std::to_string(retry_after));
+        return resp;
+      }
+      queue_.push_back(std::move(job));
+    }
+    queue_cv_.notify_one();
+
+    StatementResult result = done.get();
+    const Bucket bucket = BucketFor(result.outcome);
+    switch (bucket) {
+      case Bucket::kOk: ok_.fetch_add(1); break;
+      case Bucket::kRefused: refused_.fetch_add(1); break;
+      case Bucket::kShed: shed_.fetch_add(1); break;
+      case Bucket::kTripped: tripped_.fetch_add(1); break;
+      case Bucket::kError: errors_.fetch_add(1); break;
+    }
+    obs::GlobalMetrics()
+        .GetHistogram("server.request.wall_us")
+        ->Observe(result.wall_us);
+
+    if (result.status.ok()) {
+      std::string body = "{\"ok\":true,\"outcome\":\"ok\",\"session\":" +
+                         obs::JsonQuote(session_name);
+      body += ",\"output\":" + obs::JsonQuote(result.output);
+      if (!result.result_json.empty()) {
+        body += ",\"result\":" + result.result_json;
+      }
+      body += ",\"wall_us\":" + std::to_string(result.wall_us) + "}";
+      HttpResponse resp;
+      resp.body = std::move(body);
+      return resp;
+    }
+    const int http_status =
+        result.outcome == "draining" ? 503
+                                     : HttpStatusForCode(result.status.code());
+    HttpResponse resp = ErrorResponse(http_status, result.status,
+                                      result.outcome, result.flight);
+    if (IsRetryable(result.status.code())) {
+      resp.extra_headers.emplace_back("Retry-After", "1");
+    }
+    return resp;
+  }
+
+  HttpResponse CloseSession(const HttpRequest& request) {
+    auto doc = ParseJson(request.body);
+    if (!doc.ok() || !doc->is_object()) {
+      errors_.fetch_add(1);
+      return ErrorResponse(
+          400,
+          doc.ok() ? Status::InvalidArgument("request body must be a JSON "
+                                             "object")
+                   : doc.status(),
+          "error");
+    }
+    const std::string session_name = doc->GetString("session", "");
+    std::shared_ptr<Session> session;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      auto it = sessions_.find(session_name);
+      if (it != sessions_.end()) {
+        session = it->second;
+        sessions_.erase(it);
+      }
+    }
+    if (session == nullptr) {
+      errors_.fetch_add(1);
+      return ErrorResponse(
+          404, Status::NotFound("no such session: " + session_name),
+          "error");
+    }
+    FlushSessionJournal(*session);
+    sessions_closed_.fetch_add(1);
+    ok_.fetch_add(1);
+    HttpResponse resp;
+    resp.body = "{\"ok\":true,\"outcome\":\"ok\",\"closed\":" +
+                obs::JsonQuote(session_name) + "}";
+    return resp;
+  }
+
+  // ---------------------------------------------------------- sessions
+
+  Result<std::shared_ptr<Session>> GetOrCreateSession(
+      const std::string& name) {
+    std::shared_ptr<Session> created;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      auto it = sessions_.find(name);
+      if (it != sessions_.end()) return it->second;
+      if (sessions_.size() >= options_.max_sessions) {
+        return Status::Unavailable("session limit reached (" +
+                                   std::to_string(options_.max_sessions) +
+                                   ")");
+      }
+      created = std::make_shared<Session>(name);
+      sessions_.emplace(name, created);
+    }
+    sessions_created_.fetch_add(1);
+    {
+      // No contention possible yet, but the runner's invariants are "hold
+      // mu"; configure the session defaults under it.
+      std::lock_guard<std::mutex> lock(created->mu);
+      created->runner.set_timeout_ms(options_.default_timeout_ms);
+      created->runner.set_memlimit_bytes(options_.default_memlimit_bytes);
+      if (options_.cost_budget > 0) {
+        analysis::CostBudget budget;
+        budget.max_estimated_size = BigNat(options_.cost_budget);
+        created->runner.set_budget(budget);
+      }
+    }
+    return created;
+  }
+
+  void FlushSessionJournal(Session& session) {
+    if (options_.journal_dir.empty()) return;
+    std::lock_guard<std::mutex> lock(session.mu);
+    // ValidSessionName guarantees the id is path-metacharacter-free.
+    (void)session.runner.journal().ExportJsonl(
+        options_.journal_dir + "/session-" + session.id + ".jsonl");
+  }
+
+  // --------------------------------------------------------- executors
+
+  void ExecutorLoop() {
+    while (true) {
+      ExecJob job;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        queue_cv_.wait(lock, [this] {
+          return stop_executors_ || !queue_.empty();
+        });
+        if (queue_.empty()) {
+          if (stop_executors_) return;
+          continue;
+        }
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        if (draining()) {
+          // Queued-but-not-started work is shed, not run: drain latency
+          // must not depend on queue depth.
+          lock.unlock();
+          StatementResult shed;
+          shed.status = Status::Unavailable("draining for shutdown");
+          shed.outcome = "draining";
+          job.done.set_value(std::move(shed));
+          continue;
+        }
+        active_executions_.fetch_add(1);
+      }
+      StatementResult result = Execute(job);
+      job.done.set_value(std::move(result));
+      active_executions_.fetch_sub(1);
+      idle_cv_.notify_all();
+    }
+  }
+
+  StatementResult Execute(ExecJob& job) {
+    Session& session = *job.session;
+    std::lock_guard<std::mutex> lock(session.mu);
+    session.runner.set_timeout_ms(job.timeout_ms);
+    session.runner.set_memlimit_bytes(job.memlimit_bytes);
+    const uint64_t journal_before = session.runner.journal().total();
+    const auto start = std::chrono::steady_clock::now();
+    Result<std::string> output = session.runner.RunLine(job.statement);
+    const auto wall = std::chrono::steady_clock::now() - start;
+
+    StatementResult result;
+    result.wall_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(wall).count());
+    result.flight = session.runner.TakeFlightDump();
+    if (output.ok()) {
+      result.output = *output;
+      if (session.runner.last_result().has_value()) {
+        result.result_json =
+            ValueToWireJson(*session.runner.last_result());
+      }
+    } else {
+      result.status = output.status();
+    }
+    if (session.runner.journal().total() > journal_before) {
+      const auto tail = session.runner.journal().Tail(1);
+      if (!tail.empty()) result.outcome = tail.back().outcome;
+    }
+    if (result.outcome.empty()) {
+      result.outcome = OutcomeForStatus(result.status);
+    }
+    obs::MirrorGovernorStats();
+    return result;
+  }
+
+  // ------------------------------------------------------------- drain
+
+  void Teardown() {
+    if (accept_thread_.joinable()) accept_thread_.join();
+
+    // Wake the executors so they shed everything still queued, then keep
+    // cancelling in-flight statements until the pool runs dry. The repeat
+    // matters: RunLine re-arms the session token at statement start, so a
+    // single Cancel can race a statement that slipped past the drain
+    // check; a periodic sweep always lands.
+    queue_cv_.notify_all();
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        if (queue_.empty() && active_executions_.load() == 0) break;
+      }
+      CancelAllSessions();
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      idle_cv_.wait_for(lock, std::chrono::milliseconds(20), [this] {
+        return queue_.empty() && active_executions_.load() == 0;
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      stop_executors_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& t : executors_) t.join();
+    executors_.clear();
+
+    // Handlers observe the drain flag between requests; any handler
+    // blocked on a statement future has been released above. Move the
+    // threads out before joining: a handler's last act is to lock
+    // handlers_mu_ and report itself finished, so joining under the lock
+    // would deadlock.
+    std::vector<std::thread> handlers;
+    {
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      finished_handlers_.clear();
+      for (auto& [id, t] : handlers_) handlers.push_back(std::move(t));
+      handlers_.clear();
+    }
+    for (std::thread& t : handlers) {
+      if (t.joinable()) t.join();
+    }
+
+    std::vector<std::shared_ptr<Session>> sessions;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (const auto& [name, session] : sessions_) {
+        sessions.push_back(session);
+      }
+      sessions_.clear();
+    }
+    for (const auto& session : sessions) {
+      FlushSessionJournal(*session);
+      sessions_closed_.fetch_add(1);
+    }
+    obs::MirrorGovernorStats();
+    MirrorServerStats();
+    listen_fd_.Reset();
+    listen_fd_raw_.store(-1, std::memory_order_release);
+  }
+
+  void CancelAllSessions() {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& [name, session] : sessions_) {
+      session->cancel.Cancel();
+    }
+  }
+
+  // ------------------------------------------------------------ shared
+
+  HttpResponse ShedResponse(int http_status, std::string_view why) {
+    shed_.fetch_add(1);
+    HttpResponse resp = ErrorResponse(
+        http_status, Status::Unavailable(std::string(why)), "shed");
+    resp.extra_headers.emplace_back("Retry-After", "1");
+    return resp;
+  }
+
+  HttpResponse ErrorResponse(int http_status, const Status& status,
+                             std::string_view outcome,
+                             std::string_view flight = "") {
+    std::string body = "{\"ok\":false,\"outcome\":";
+    body += obs::JsonQuote(outcome);
+    body += ",\"error\":{\"code\":";
+    body += obs::JsonQuote(StatusCodeName(status.code()));
+    body += ",\"message\":";
+    body += obs::JsonQuote(status.message());
+    body += ",\"retryable\":";
+    body += IsRetryable(status.code()) ? "true" : "false";
+    body += "}";
+    if (!flight.empty()) {
+      body += ",\"flight\":" + obs::JsonQuote(flight);
+    }
+    body += "}";
+    HttpResponse resp;
+    resp.status = http_status;
+    resp.body = std::move(body);
+    return resp;
+  }
+
+  void MirrorServerStats() {
+    auto& metrics = obs::GlobalMetrics();
+    const ServerStats s = stats();
+    metrics.GetCounter("server.requests")->RaiseTo(s.requests);
+    metrics.GetCounter("server.outcome.ok")->RaiseTo(s.ok);
+    metrics.GetCounter("server.outcome.refused")->RaiseTo(s.refused);
+    metrics.GetCounter("server.outcome.shed")->RaiseTo(s.shed);
+    metrics.GetCounter("server.outcome.tripped")->RaiseTo(s.tripped);
+    metrics.GetCounter("server.outcome.error")->RaiseTo(s.errors);
+    metrics.GetCounter("server.io.errors")->RaiseTo(s.io_errors);
+    metrics.GetCounter("server.accept.retries")
+        ->RaiseTo(accept_retries_.load());
+    metrics.GetCounter("server.sessions.created")
+        ->RaiseTo(s.sessions_created);
+    metrics.GetCounter("server.sessions.closed")->RaiseTo(s.sessions_closed);
+    metrics.GetCounter("server.connections.accepted")
+        ->RaiseTo(s.connections_accepted);
+    metrics.GetGauge("server.sessions.live")
+        ->Set(static_cast<int64_t>(s.sessions_live));
+    metrics.GetGauge("server.connections.live")
+        ->Set(static_cast<int64_t>(s.connections_live));
+    metrics.GetGauge("server.queue.depth")
+        ->Set(static_cast<int64_t>(s.queue_depth));
+  }
+
+  const ServerOptions options_;
+  Fd listen_fd_;
+  std::atomic<int> listen_fd_raw_{-1};
+  uint16_t port_ = 0;
+
+  std::atomic<bool> draining_{false};
+  std::mutex teardown_mu_;
+  bool torn_down_ = false;  // guarded by teardown_mu_
+
+  std::thread accept_thread_;
+  mutable std::mutex handlers_mu_;
+  uint64_t next_handler_id_ = 1;                 // guarded by handlers_mu_
+  std::map<uint64_t, std::thread> handlers_;     // guarded by handlers_mu_
+  std::vector<uint64_t> finished_handlers_;      // guarded by handlers_mu_
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<ExecJob> queue_;      // guarded by queue_mu_
+  bool stop_executors_ = false;    // guarded by queue_mu_
+  std::atomic<uint64_t> active_executions_{0};
+  std::vector<std::thread> executors_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> refused_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> tripped_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> io_errors_{0};
+  std::atomic<uint64_t> accept_retries_{0};
+  std::atomic<uint64_t> sessions_created_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<size_t> connections_live_{0};
+};
+
+Server::Server() = default;
+Server::~Server() = default;
+
+Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
+  auto server = std::unique_ptr<Server>(new Server());
+  server->impl_ = std::make_unique<Impl>(std::move(options));
+  BAGALG_RETURN_IF_ERROR(server->impl_->Start());
+  return server;
+}
+
+uint16_t Server::port() const { return impl_->port(); }
+void Server::RequestShutdown() { impl_->RequestShutdown(); }
+void Server::Wait() { impl_->Wait(); }
+bool Server::draining() const { return impl_->draining(); }
+ServerStats Server::stats() const { return impl_->stats(); }
+
+}  // namespace bagalg::net

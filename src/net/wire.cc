@@ -1,0 +1,136 @@
+#include "src/net/wire.h"
+
+#include <cstring>
+
+#include "src/obs/json.h"
+
+namespace bagalg::net {
+
+namespace {
+
+void AppendValue(const Value& value, const AtomTable& table,
+                 std::string* out);
+
+void AppendBag(const Bag& bag, const AtomTable& table, std::string* out) {
+  out->append("{\"bag\":{\"type\":");
+  out->append(obs::JsonQuote(bag.type().ToString()));
+  out->append(",\"entries\":[");
+  bool first = true;
+  for (const BagEntry& entry : bag.entries()) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("{\"v\":");
+    AppendValue(entry.value, table, out);
+    out->append(",\"n\":");
+    out->append(obs::JsonQuote(entry.count.ToString()));
+    out->push_back('}');
+  }
+  out->append("]}}");
+}
+
+void AppendValue(const Value& value, const AtomTable& table,
+                 std::string* out) {
+  switch (value.kind()) {
+    case Value::Kind::kAtom:
+      out->append("{\"atom\":");
+      out->append(obs::JsonQuote(table.NameOf(value.atom_id())));
+      out->push_back('}');
+      return;
+    case Value::Kind::kTuple: {
+      out->append("{\"tuple\":[");
+      bool first = true;
+      for (const Value& field : value.fields()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendValue(field, table, out);
+      }
+      out->append("]}");
+      return;
+    }
+    case Value::Kind::kBag:
+      AppendBag(value.bag(), table, out);
+      return;
+  }
+}
+
+void PutU32Le(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+}  // namespace
+
+std::string ValueToWireJson(const Value& value, const AtomTable* table) {
+  std::string out;
+  AppendValue(value, table != nullptr ? *table : GlobalAtomTable(), &out);
+  return out;
+}
+
+std::string BagToWireJson(const Bag& bag, const AtomTable* table) {
+  std::string out;
+  AppendBag(bag, table != nullptr ? *table : GlobalAtomTable(), &out);
+  return out;
+}
+
+std::string EncodeFrame(WireFormat format, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(format));
+  out.push_back('\0');  // reserved
+  out.push_back('\0');  // reserved
+  PutU32Le(static_cast<uint32_t>(payload.size()), &out);
+  out.append(payload);
+  return out;
+}
+
+Result<DecodedFrame> DecodeFrame(std::string_view bytes, size_t* consumed) {
+  *consumed = 0;
+  if (bytes.size() < kFrameHeaderBytes) {
+    // Could still become a valid frame; but a wrong magic is detectable
+    // from the very first bytes — fail fast instead of buffering garbage.
+    const size_t have = std::min(bytes.size(), sizeof(kFrameMagic));
+    if (std::memcmp(bytes.data(), kFrameMagic, have) != 0) {
+      return Status::ParseError("wire: bad frame magic");
+    }
+    return Status::Unavailable("wire: short frame header");
+  }
+  if (std::memcmp(bytes.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::ParseError("wire: bad frame magic");
+  }
+  const auto version = static_cast<uint8_t>(bytes[4]);
+  if (version != kFrameVersion) {
+    return Status::ParseError("wire: unsupported frame version " +
+                              std::to_string(version));
+  }
+  const auto format = static_cast<uint8_t>(bytes[5]);
+  if (format != static_cast<uint8_t>(WireFormat::kJson)) {
+    return Status::ParseError("wire: unknown format tag " +
+                              std::to_string(format));
+  }
+  const uint32_t length = GetU32Le(bytes.data() + 8);
+  if (length > kMaxFrameBytes) {
+    return Status::ParseError("wire: frame length " + std::to_string(length) +
+                              " exceeds cap");
+  }
+  if (bytes.size() < kFrameHeaderBytes + length) {
+    return Status::Unavailable("wire: short frame payload");
+  }
+  DecodedFrame frame;
+  frame.format = WireFormat::kJson;
+  frame.payload.assign(bytes.substr(kFrameHeaderBytes, length));
+  *consumed = kFrameHeaderBytes + length;
+  return frame;
+}
+
+}  // namespace bagalg::net

@@ -1,0 +1,76 @@
+#ifndef BAGALG_NET_WIRE_H_
+#define BAGALG_NET_WIRE_H_
+
+/// \file wire.h
+/// Wire serialization for complex-object values.
+///
+/// The on-the-wire shape is JSON today, chosen over the REPL's printable
+/// syntax because a client should never have to re-parse `'{{a: 3}}`:
+///
+///   atom   {"atom": "a"}
+///   tuple  {"tuple": [v, v, ...]}
+///   bag    {"bag": {"type": "{{U}}", "entries": [{"v": v, "n": "3"}, ...]}}
+///
+/// Multiplicities travel as *decimal strings* ("n"), never JSON numbers:
+/// iterated powerset chains push counts far past 2^53, where every JSON
+/// number representation silently corrupts. Entries arrive in canonical
+/// order (sorted, distinct, positive), so a client can compare payloads
+/// byte-wise.
+///
+/// A thin framing layer wraps payloads for the (future) binary format:
+/// an 8-byte header — magic "BAG1", version, format tag, reserved pad —
+/// then a u32 little-endian payload length. bagalgd speaks HTTP (which has
+/// its own framing), so frames are exercised today by tests and the bench
+/// harness; the point of landing the header now is that a binary format
+/// later is a new tag, not a protocol break.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/core/value.h"
+#include "src/util/result.h"
+
+namespace bagalg::net {
+
+/// Serializes a value into the wire JSON described above. `table` resolves
+/// atom names (defaults to the global table).
+std::string ValueToWireJson(const Value& value,
+                            const AtomTable* table = nullptr);
+
+/// Serializes a bag (the common top-level case) into its wire JSON object.
+std::string BagToWireJson(const Bag& bag, const AtomTable* table = nullptr);
+
+// ------------------------------------------------------------- framing
+
+enum class WireFormat : uint8_t {
+  kJson = 1,
+  // kBinary = 2 reserved: columnar counted-bag encoding.
+};
+
+inline constexpr char kFrameMagic[4] = {'B', 'A', 'G', '1'};
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Frames larger than this are refused on decode — a length-prefixed
+/// protocol must never let the prefix size an allocation unchecked.
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+/// Wraps `payload` in a frame header.
+std::string EncodeFrame(WireFormat format, std::string_view payload);
+
+struct DecodedFrame {
+  WireFormat format;
+  std::string payload;
+};
+
+/// Decodes one frame from the front of `bytes`.
+///   - Complete frame: returns it; *consumed = header + payload size.
+///   - Prefix of a valid frame: kUnavailable ("short frame"), *consumed = 0
+///     — the caller should read more bytes and retry.
+///   - Anything else (bad magic/version/format, oversized length):
+///     kParseError; the connection is unrecoverable.
+Result<DecodedFrame> DecodeFrame(std::string_view bytes, size_t* consumed);
+
+}  // namespace bagalg::net
+
+#endif  // BAGALG_NET_WIRE_H_

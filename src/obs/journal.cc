@@ -74,6 +74,7 @@ Status QueryJournal::ExportJsonl(const std::string& path) const {
   if (!file) {
     return Status::InvalidArgument("cannot open journal file " + path);
   }
+  if (!header_.empty()) file << header_ << "\n";
   for (const JournalEntry& e : Tail(capacity_)) {
     file << e.ToJsonLine() << "\n";
   }

@@ -80,6 +80,16 @@ class QueryJournal {
   /// capacity), and returns the seq.
   uint64_t Append(JournalEntry entry);
 
+  /// Installs a header emitted as the *first* line of every JSONL export —
+  /// a complete JSON object string that must carry `"header":true` so
+  /// consumers (tools/validate_obs.py) can tell it from entries. The
+  /// drivers put the build identity here (BuildInfoJson plus the default
+  /// execution engine), so an exported journal is self-describing: which
+  /// binary produced it is in the file, not in tribal knowledge. Empty
+  /// (the default) emits no header.
+  void set_header_json(std::string header) { header_ = std::move(header); }
+  const std::string& header_json() const { return header_; }
+
   /// The most recent min(n, retained) entries, oldest first.
   std::vector<JournalEntry> Tail(size_t n) const;
 
@@ -96,6 +106,8 @@ class QueryJournal {
 
  private:
   size_t capacity_;
+  /// Set once at session start, before exports; not guarded.
+  std::string header_;
   mutable std::mutex mu_;
   uint64_t next_seq_ = 1;   // guarded by mu_
   std::vector<JournalEntry> entries_;  // ring, indexed by seq % capacity_

@@ -3,8 +3,9 @@
 
 /// \file json.h
 /// Minimal JSON emission helpers shared by the obs exporters (Chrome
-/// trace-event files and flat metrics dumps). Emission only — bagalg never
-/// parses JSON, so there is no reader here.
+/// trace-event files and flat metrics dumps). Emission only — the one
+/// component that must *parse* JSON (the bagalgd request path) has its own
+/// defensive reader in src/net/json_reader.h.
 
 #include <ostream>
 #include <string>

@@ -1,0 +1,39 @@
+#include "src/util/build_info.h"
+
+// Injected per-source by src/util/CMakeLists.txt; the fallbacks keep
+// non-CMake builds (IDE indexers, single-file syntax checks) compiling.
+#ifndef BAGALG_GIT_SHA
+#define BAGALG_GIT_SHA "unknown"
+#endif
+#ifndef BAGALG_BUILD_TYPE
+#define BAGALG_BUILD_TYPE "unknown"
+#endif
+
+namespace bagalg {
+
+namespace {
+constexpr char kVersion[] = "0.9.0";
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* info = new BuildInfo{
+      kVersion,
+      BAGALG_GIT_SHA,
+      BAGALG_BUILD_TYPE,
+  };
+  return *info;
+}
+
+std::string BuildInfoString() {
+  const BuildInfo& info = GetBuildInfo();
+  return "bagalg " + info.version + " (" + info.git_sha + ", " +
+         info.build_type + ")";
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  return "{\"version\":\"" + info.version + "\",\"git_sha\":\"" +
+         info.git_sha + "\",\"build_type\":\"" + info.build_type + "\"}";
+}
+
+}  // namespace bagalg

@@ -1,0 +1,45 @@
+#ifndef BAGALG_UTIL_BUILD_INFO_H_
+#define BAGALG_UTIL_BUILD_INFO_H_
+
+/// \file build_info.h
+/// The one place that knows what binary this is.
+///
+/// Every operator-facing surface that identifies the build — the REPL
+/// banner, bagalgd's /healthz endpoint, and the query-journal header line —
+/// renders the same BuildInfo, so "which build produced this artifact?" has
+/// exactly one answer. The git SHA and build type are baked in by CMake at
+/// configure time (see src/util/CMakeLists.txt); a source tree configured
+/// outside git reports "unknown". The SHA is captured when CMake runs, so
+/// an incremental build after new commits can lag until the next
+/// reconfigure — an accepted tradeoff for keeping the build graph free of
+/// always-dirty steps.
+
+#include <string>
+
+namespace bagalg {
+
+/// Identity of this binary.
+struct BuildInfo {
+  /// bagalg release version (bumped by hand, not derived from git).
+  std::string version;
+  /// Abbreviated git commit SHA at configure time, or "unknown".
+  std::string git_sha;
+  /// CMAKE_BUILD_TYPE at configure time (e.g. "RelWithDebInfo").
+  std::string build_type;
+};
+
+/// The baked-in identity of this binary.
+const BuildInfo& GetBuildInfo();
+
+/// One-line human rendering: "bagalg VERSION (SHA, BUILD_TYPE)".
+std::string BuildInfoString();
+
+/// The same fields as a JSON object fragment:
+/// {"version":"...","git_sha":"...","build_type":"..."}. The values are
+/// build-system-controlled identifiers (no quotes/control characters), so
+/// no escaping is needed and util stays free of a JSON dependency.
+std::string BuildInfoJson();
+
+}  // namespace bagalg
+
+#endif  // BAGALG_UTIL_BUILD_INFO_H_

@@ -61,8 +61,10 @@ bool ParseDouble(const std::string& text, double* out) {
 }
 
 // Records one event on `point`'s stream and decides whether the armed
-// fault fires on it.
-bool ShouldFail(FaultPoint point) {
+// fault fires on it. On fire, `*fired_index` (when non-null) receives the
+// event's global index so callers can derive further deterministic choices
+// (the io stream hashes it again to pick short-vs-hard).
+bool ShouldFail(FaultPoint point, uint64_t* fired_index = nullptr) {
   if (!g_armed.load(std::memory_order_acquire)) return false;
   if (g_spec.point != point) return false;
   const uint64_t index = g_events.fetch_add(1, std::memory_order_relaxed);
@@ -76,7 +78,10 @@ bool ShouldFail(FaultPoint point) {
   } else {
     fire = index == g_spec.after;
   }
-  if (fire) g_fires.fetch_add(1, std::memory_order_relaxed);
+  if (fire) {
+    g_fires.fetch_add(1, std::memory_order_relaxed);
+    if (fired_index != nullptr) *fired_index = index;
+  }
   return fire;
 }
 
@@ -92,9 +97,11 @@ Result<FaultSpec> FaultSpec::Parse(std::string_view text) {
     spec.point = FaultPoint::kAlloc;
   } else if (parts[0] == "checkpoint") {
     spec.point = FaultPoint::kCheckpoint;
+  } else if (parts[0] == "io") {
+    spec.point = FaultPoint::kIo;
   } else {
     return Status::ParseError("unknown fault point '" + parts[0] +
-                              "' (expected 'alloc' or 'checkpoint')");
+                              "' (expected 'alloc', 'checkpoint', or 'io')");
   }
   bool have_mode = false;
   for (size_t i = 1; i < parts.size(); ++i) {
@@ -164,6 +171,19 @@ bool ShouldFailAlloc() {
 bool ShouldFailCheckpoint() {
   EnsureEnvLoaded();
   return ShouldFail(FaultPoint::kCheckpoint);
+}
+
+IoFaultKind InjectIoFault() {
+  EnsureEnvLoaded();
+  uint64_t index = 0;
+  if (!ShouldFail(FaultPoint::kIo, &index)) return IoFaultKind::kNone;
+  // A second, salted hash of the same index decides the disturbance, so
+  // short-vs-hard is as reproducible as the firing decision itself. The
+  // salt keeps this draw independent of the firing draw (which already
+  // consumed SplitMix64(seed ^ index)).
+  constexpr uint64_t kKindSalt = 0x9e3779b97f4a7c15ULL;
+  const uint64_t h = SplitMix64(g_spec.seed ^ index ^ kKindSalt);
+  return (h & 1) != 0 ? IoFaultKind::kShort : IoFaultKind::kError;
 }
 
 }  // namespace bagalg::fault

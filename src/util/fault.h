@@ -21,13 +21,23 @@
 ///   BAGALG_FAULT="alloc:p=0.001:seed=9"    fail each allocation event with
 ///                                          probability 1/1000, decided by a
 ///                                          seeded hash of the event index
+///   BAGALG_FAULT="io:p=0.05:seed=7"        disturb each network I/O event
+///                                          (read/write/accept in src/net)
+///                                          with probability 1/20
 ///
 /// Event counters are process-global atomics, so exactly one thread observes
 /// the Nth event no matter how the work is scheduled ("thread-stable"), and
 /// the probabilistic mode derives its verdict purely from (seed, event
-/// index), making a given arming reproducible run over run. Faults only
-/// fire underneath an active ResourceGovernor — a process with no governor
-/// installed never trips.
+/// index), making a given arming reproducible run over run. Faults on the
+/// alloc/checkpoint streams only fire underneath an active ResourceGovernor
+/// — a process with no governor installed never trips. The io stream models
+/// the *network*, which misbehaves whether or not a query is running, so io
+/// faults fire whenever armed: every net-layer read, write, and accept
+/// consults InjectIoFault, and a fired event is downgraded to either a
+/// short transfer (the syscall moves 1 byte, exercising every retry loop)
+/// or a hard failure (ECONNRESET-shaped for reads, EPIPE-shaped for writes,
+/// a transient refusal for accepts) — the choice is itself a deterministic
+/// hash of the event index.
 
 #include <cstdint>
 #include <string_view>
@@ -43,6 +53,21 @@ enum class FaultPoint {
   kAlloc,
   /// Full governor checkpoints (ResourceGovernor::Check).
   kCheckpoint,
+  /// Network I/O events (every read/write/accept in src/net/io.cc). Unlike
+  /// the streams above, io faults do not require an active governor.
+  kIo,
+};
+
+/// How a fired io-stream event disturbs the syscall it landed on.
+enum class IoFaultKind {
+  /// Not fired: perform the operation normally.
+  kNone,
+  /// Short transfer: move at most one byte (reads and writes); accepts
+  /// treat this as a transient failure, since accept has no short form.
+  kShort,
+  /// Hard failure: simulated peer disconnect on reads, broken pipe on
+  /// writes, transient refusal on accepts.
+  kError,
 };
 
 /// A parsed fault arming. Exactly one of `after` (one-shot index) or
@@ -78,6 +103,12 @@ uint64_t FireCount();
 /// true iff the armed fault fires on it. Cheap no-ops when disarmed.
 bool ShouldFailAlloc();
 bool ShouldFailCheckpoint();
+
+/// Net-layer hook: records one event on the io stream and returns the
+/// injected disturbance (kNone when disarmed or the event did not fire).
+/// The kind of a fired event is a pure function of (seed, event index), so
+/// a given arming reproduces the same fault schedule run over run.
+IoFaultKind InjectIoFault();
 
 }  // namespace bagalg::fault
 

@@ -24,10 +24,32 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }
   return "Unknown";
+}
+
+bool IsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kUnavailable:
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kTypeError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kNotFound:
+    case StatusCode::kParseError:
+    case StatusCode::kUnsupported:
+    case StatusCode::kBudgetExceeded:
+    case StatusCode::kInternal:
+      return false;
+  }
+  return false;
 }
 
 std::string Status::ToString() const {

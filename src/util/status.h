@@ -47,12 +47,37 @@ enum class StatusCode {
   /// the REPL, a client disconnect, a fault-injection trip). The session
   /// that issued the query remains usable.
   kCancelled,
+  /// The service cannot take the work *right now*: the server shed the
+  /// request from a full admission queue, is draining for shutdown, or an
+  /// I/O path failed transiently (injected or real short read / disconnect
+  /// / accept failure). Nothing about the request itself is wrong — the
+  /// canonical retryable code.
+  kUnavailable,
   /// An internal invariant was violated; indicates a bug in bagalg itself.
   kInternal,
 };
 
 /// Human-readable name of a StatusCode (e.g. "TypeError").
 const char* StatusCodeName(StatusCode code);
+
+/// Retryability contract. A code is *retryable* when re-issuing the exact
+/// same request later can plausibly succeed because the failure was a
+/// property of the moment, not of the request:
+///
+///   kDeadlineExceeded  load-dependent: the same query may finish within
+///                      its deadline on a quieter server
+///   kCancelled         someone tore the query down mid-flight (Ctrl-C,
+///                      client disconnect, drain); the query itself is fine
+///   kUnavailable       admission-control shedding, drain, transient I/O
+///
+/// Every other code is *permanent*: type errors, parse errors, unsupported
+/// operations, and kBudgetExceeded / kResourceExhausted describe the
+/// request (its text, its statically provable cost, its memory appetite
+/// under the configured cap) and will fail identically on retry. Clients —
+/// in particular bagalgd's HTTP layer, which derives status codes and
+/// Retry-After headers from this predicate — must not retry permanent
+/// errors, and may retry retryable ones with backoff.
+bool IsRetryable(StatusCode code);
 
 /// A success-or-error outcome. Cheap to copy on the success path (no
 /// allocation); error path carries a message string.
@@ -93,6 +118,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -103,6 +131,10 @@ class Status {
   StatusCode code() const { return code_; }
   /// The error message; empty for OK statuses.
   const std::string& message() const { return message_; }
+
+  /// True iff retrying the same request later can plausibly succeed (see
+  /// IsRetryable(StatusCode) for the contract). False for OK.
+  bool IsRetryable() const { return bagalg::IsRetryable(code_); }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,549 @@
+// Tests for the bagalgd server stack (src/net): the defensive JSON reader,
+// wire serialization and framing, the HTTP layer's caps and status mapping,
+// and the server itself end-to-end over loopback — sessions, admission
+// control, governor trips with flight dumps, and graceful drain.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/value.h"
+#include "src/net/http.h"
+#include "src/net/io.h"
+#include "src/net/json_reader.h"
+#include "src/net/server.h"
+#include "src/net/wire.h"
+#include "src/util/status.h"
+
+namespace bagalg::net {
+namespace {
+
+// ------------------------------------------------------------ json_reader
+
+TEST(JsonReaderTest, ParsesScalarsAndNesting) {
+  auto doc = ParseJson(R"js({"a": 1.5, "b": [true, null, "x\nA"]})js");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->kind, JsonValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(a->number, 1.5);
+  const JsonValue* b = doc->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->items.size(), 3u);
+  EXPECT_TRUE(b->items[0].boolean);
+  EXPECT_EQ(b->items[1].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(b->items[2].string, "x\nA");
+}
+
+TEST(JsonReaderTest, GetStringAndGetUint) {
+  auto doc = ParseJson(R"js({"s": "hi", "n": 42, "f": 1.5, "neg": -3})js");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetString("s"), "hi");
+  EXPECT_EQ(doc->GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(doc->GetString("n", "dflt"), "dflt");  // wrong type
+  EXPECT_EQ(doc->GetUint("n"), 42u);
+  EXPECT_EQ(doc->GetUint("f", 7), 7u);    // not integral
+  EXPECT_EQ(doc->GetUint("neg", 7), 7u);  // negative
+  EXPECT_EQ(doc->GetUint("missing", 9), 9u);
+}
+
+TEST(JsonReaderTest, SurrogatePairDecodes) {
+  auto doc = ParseJson(R"js("😀")js");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->string, "\xF0\x9F\x98\x80");
+  EXPECT_FALSE(ParseJson(R"js("\ud83d")js").ok());   // lone high surrogate
+  EXPECT_FALSE(ParseJson(R"js("\ude00")js").ok());   // lone low surrogate
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated",
+        "{\"a\" 1}", "[1] trailing", "nan", "\"\x01\""}) {
+    auto doc = ParseJson(bad);
+    EXPECT_FALSE(doc.ok()) << "accepted: " << bad;
+    if (!doc.ok()) {
+      EXPECT_EQ(doc.status().code(), StatusCode::kParseError) << bad;
+    }
+  }
+}
+
+TEST(JsonReaderTest, DepthCapHolds) {
+  std::string deep;
+  for (int i = 0; i < kMaxJsonDepth + 8; ++i) deep += "[";
+  auto doc = ParseJson(deep);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("deep"), std::string::npos);
+  // At the cap it still parses.
+  std::string ok_doc(static_cast<size_t>(kMaxJsonDepth), '[');
+  ok_doc += std::string(static_cast<size_t>(kMaxJsonDepth), ']');
+  EXPECT_TRUE(ParseJson(ok_doc).ok());
+}
+
+// ------------------------------------------------------------------ wire
+
+TEST(WireTest, SerializesNestedValues) {
+  const AtomId a = GlobalAtomTable().Intern("wire_a");
+  Bag::Builder builder(Type::Atom());
+  builder.Add(Value::Atom(a), 3);
+  const Bag bag = *std::move(builder).Build();
+  EXPECT_EQ(ValueToWireJson(Value::Atom(a)), "{\"atom\":\"wire_a\"}");
+  EXPECT_EQ(ValueToWireJson(Value::Tuple({Value::Atom(a), Value::Atom(a)})),
+            "{\"tuple\":[{\"atom\":\"wire_a\"},{\"atom\":\"wire_a\"}]}");
+  EXPECT_EQ(BagToWireJson(bag),
+            "{\"bag\":{\"type\":\"{{U}}\",\"entries\":[{\"v\":{\"atom\":"
+            "\"wire_a\"},\"n\":\"3\"}]}}");
+}
+
+TEST(WireTest, HugeMultiplicitiesTravelAsStrings) {
+  const AtomId a = GlobalAtomTable().Intern("wire_big");
+  Bag::Builder builder(Type::Atom());
+  builder.Add(Value::Atom(a), BigNat::TwoPow(100));
+  const std::string json = BagToWireJson(*std::move(builder).Build());
+  // 2^100 — far past double precision; must appear quoted and exact.
+  EXPECT_NE(json.find("\"1267650600228229401496703205376\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(WireTest, FrameRoundTrips) {
+  const std::string payload = "{\"atom\":\"x\"}";
+  const std::string frame = EncodeFrame(WireFormat::kJson, payload);
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+  size_t consumed = 0;
+  auto decoded = DecodeFrame(frame, &consumed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(decoded->payload, payload);
+  EXPECT_EQ(decoded->format, WireFormat::kJson);
+}
+
+TEST(WireTest, FrameDecodeIsDefensive) {
+  const std::string frame = EncodeFrame(WireFormat::kJson, "payload");
+  size_t consumed = 0;
+  // A prefix is retryable (kUnavailable), not an error.
+  auto partial = DecodeFrame(std::string_view(frame).substr(0, 5), &consumed);
+  ASSERT_FALSE(partial.ok());
+  EXPECT_EQ(partial.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(consumed, 0u);
+  // Wrong magic fails immediately, even on a short buffer.
+  auto bad = DecodeFrame("XXXX", &consumed);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  // An absurd length is refused before any allocation.
+  std::string huge = frame.substr(0, kFrameHeaderBytes);
+  huge[8] = '\xFF';
+  huge[9] = '\xFF';
+  huge[10] = '\xFF';
+  huge[11] = '\x7F';
+  auto oversized = DecodeFrame(huge, &consumed);
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.status().code(), StatusCode::kParseError);
+}
+
+// ------------------------------------------------------------------ http
+
+TEST(HttpTest, StatusMappingFollowsRetryabilityContract) {
+  // The three retryable codes map to statuses clients may retry; every
+  // permanent code maps to one they must not.
+  for (const StatusCode code :
+       {StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+        StatusCode::kUnavailable}) {
+    EXPECT_TRUE(IsRetryable(code));
+    const int http = HttpStatusForCode(code);
+    EXPECT_TRUE(http == 429 || http == 499 || http == 503 || http == 504)
+        << http;
+  }
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kBudgetExceeded), 422);
+  EXPECT_FALSE(IsRetryable(StatusCode::kBudgetExceeded));
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kResourceExhausted), 507);
+  EXPECT_FALSE(IsRetryable(StatusCode::kResourceExhausted));
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kParseError), 400);
+  EXPECT_EQ(HttpStatusForCode(StatusCode::kOk), 200);
+}
+
+// Feeds raw bytes to ReadHttpRequest through a socketpair.
+class HttpParseFixture {
+ public:
+  HttpParseFixture() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    reader_ = Fd(fds[0]);
+    writer_ = Fd(fds[1]);
+  }
+
+  Result<HttpRequest> Feed(std::string_view bytes, HttpLimits limits = {}) {
+    EXPECT_TRUE(WriteAll(writer_.get(), bytes).ok());
+    writer_.Reset();  // EOF after the payload
+    return ReadHttpRequest(reader_.get(), &buffer_, limits, nullptr);
+  }
+
+ private:
+  Fd reader_, writer_;
+  std::string buffer_;
+};
+
+TEST(HttpTest, ParsesRequestWithBody) {
+  HttpParseFixture fixture;
+  auto request = fixture.Feed(
+      "POST /v1/statement?x=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "hello");
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->method, "POST");
+  EXPECT_EQ(request->path, "/v1/statement");
+  EXPECT_EQ(request->query, "x=1");
+  EXPECT_EQ(request->headers.at("host"), "localhost");
+  EXPECT_EQ(request->body, "hello");
+}
+
+TEST(HttpTest, RejectsOversizedBody) {
+  HttpParseFixture fixture;
+  HttpLimits limits;
+  limits.max_body_bytes = 4;
+  auto request = fixture.Feed(
+      "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789", limits);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(HttpTest, RejectsMalformedRequestLine) {
+  HttpParseFixture fixture;
+  auto request = fixture.Feed("GARBAGE\r\n\r\n");
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kParseError);
+}
+
+TEST(HttpTest, MidRequestEofIsAnIoError) {
+  HttpParseFixture fixture;
+  auto request = fixture.Feed(
+      "POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort");
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------- server
+
+// Minimal blocking HTTP client for loopback tests: one request per
+// connection (Connection: close), returns status line + body.
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+  std::string raw;
+};
+
+ClientResponse Fetch(uint16_t port, const std::string& method,
+                     const std::string& path, const std::string& body) {
+  ClientResponse out;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return out;
+  }
+  std::string request = method + " " + path +
+                        " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+                        "Content-Length: " +
+                        std::to_string(body.size()) + "\r\n\r\n" + body;
+  if (!WriteAll(fd, request).ok()) {
+    ::close(fd);
+    return out;
+  }
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    out.raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (out.raw.size() > 12) out.status = std::atoi(out.raw.c_str() + 9);
+  const size_t split = out.raw.find("\r\n\r\n");
+  if (split != std::string::npos) out.body = out.raw.substr(split + 4);
+  return out;
+}
+
+ClientResponse PostStatement(uint16_t port, const std::string& json) {
+  return Fetch(port, "POST", "/v1/statement", json);
+}
+
+TEST(ServerTest, StatementsRunAndSessionsAreIsolated) {
+  ServerOptions options;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  auto let = PostStatement(
+      port, R"js({"session":"alpha","statement":"let X = {{a, a, b}}"})js");
+  EXPECT_EQ(let.status, 200) << let.raw;
+  EXPECT_NE(let.body.find("\"outcome\":\"ok\""), std::string::npos);
+
+  auto eval = PostStatement(
+      port, R"js({"session":"alpha","statement":"eval uplus(X, X)"})js");
+  EXPECT_EQ(eval.status, 200) << eval.raw;
+  EXPECT_NE(eval.body.find("\"result\":{\"bag\""), std::string::npos);
+  EXPECT_NE(eval.body.find("\"n\":\"4\""), std::string::npos);
+
+  // A different session must not see alpha's database.
+  auto other = PostStatement(
+      port, R"js({"session":"beta","statement":"eval uplus(X, X)"})js");
+  EXPECT_EQ(other.status, 404) << other.raw;
+  EXPECT_NE(other.body.find("NotFound"), std::string::npos);
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+  const ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.errors, 1u);
+}
+
+TEST(ServerTest, BudgetRefusalIsTypedAndPermanent) {
+  ServerOptions options;
+  options.cost_budget = 1000;  // pow({{..16 atoms..}}) estimates 2^16 >> 1000
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  PostStatement(port,
+                R"js({"session":"b","statement":)js"
+                R"js("let X = {{a,b,c,d,e,f,g,h,i,j,k,l,m,n,o,p}}"})js");
+  auto refused =
+      PostStatement(port, R"js({"session":"b","statement":"eval pow(X)"})js");
+  EXPECT_EQ(refused.status, 422) << refused.raw;
+  EXPECT_NE(refused.body.find("\"outcome\":\"budget-refused\""),
+            std::string::npos)
+      << refused.body;
+  EXPECT_NE(refused.body.find("\"retryable\":false"), std::string::npos);
+
+  // Small statements still run: the session survived the refusal.
+  auto ok = PostStatement(port, R"js({"session":"b","statement":"count X"})js");
+  EXPECT_EQ(ok.status, 200) << ok.raw;
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+  EXPECT_EQ((*server)->stats().refused, 1u);
+}
+
+TEST(ServerTest, DeadlineTripReturns504WithFlightDump) {
+  ServerOptions options;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  PostStatement(port,
+                R"js({"session":"t","statement":)js"
+                R"js("let X = {{a,b,c,d,e,f,g,h,i,j,k,l,m,n,o,p}}"})js");
+  auto tripped = PostStatement(
+      port,
+      R"js({"session":"t","statement":"eval pow(pow(X))","timeout_ms":30})js");
+  EXPECT_EQ(tripped.status, 504) << tripped.raw;
+  EXPECT_NE(tripped.body.find("\"outcome\":\"deadline\""), std::string::npos);
+  EXPECT_NE(tripped.body.find("\"retryable\":true"), std::string::npos);
+  EXPECT_NE(tripped.body.find("\"flight\""), std::string::npos);
+  EXPECT_NE(tripped.raw.find("Retry-After"), std::string::npos);
+
+  // The session survives its trip — REPL semantics.
+  auto ok = PostStatement(port, R"js({"session":"t","statement":"count X"})js");
+  EXPECT_EQ(ok.status, 200) << ok.raw;
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+  EXPECT_EQ((*server)->stats().tripped, 1u);
+}
+
+TEST(ServerTest, SessionCapSheds) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  auto first =
+      PostStatement(port, R"js({"session":"one","statement":"count '{{a}}"})js");
+  EXPECT_EQ(first.status, 200) << first.raw;
+  auto second =
+      PostStatement(port, R"js({"session":"two","statement":"count '{{a}}"})js");
+  EXPECT_EQ(second.status, 503) << second.raw;
+  EXPECT_NE(second.body.find("\"retryable\":true"), std::string::npos);
+  EXPECT_NE(second.raw.find("Retry-After"), std::string::npos);
+
+  // Closing the resident session frees the slot.
+  auto closed =
+      Fetch(port, "POST", "/v1/session/close", R"js({"session":"one"})js");
+  EXPECT_EQ(closed.status, 200) << closed.raw;
+  auto third =
+      PostStatement(port, R"js({"session":"two","statement":"count '{{a}}"})js");
+  EXPECT_EQ(third.status, 200) << third.raw;
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+}
+
+TEST(ServerTest, MalformedRequestsAreTyped400s) {
+  ServerOptions options;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  EXPECT_EQ(PostStatement(port, "{not json").status, 400);
+  EXPECT_EQ(PostStatement(port, R"js({"statement": 7})js").status, 400);
+  EXPECT_EQ(
+      PostStatement(port,
+                    R"js({"session":"../etc","statement":"count '{{a}}"})js")
+          .status,
+      400);
+  EXPECT_EQ(Fetch(port, "GET", "/nope", "").status, 404);
+  EXPECT_EQ(Fetch(port, "GET", "/v1/statement", "").status, 405);
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+}
+
+TEST(ServerTest, ObservabilityEndpointsServe) {
+  ServerOptions options;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  PostStatement(port, R"js({"session":"obs","statement":"count '{{a, b}}"})js");
+
+  auto health = Fetch(port, "GET", "/healthz", "");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\":\"serving\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"build\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"engine_default\""), std::string::npos);
+
+  auto metrics = Fetch(port, "GET", "/metrics", "");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("# TYPE bagalg_server_requests_total counter"),
+            std::string::npos);
+
+  auto trace = Fetch(port, "GET", "/trace", "");
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_NE(trace.body.find("\"id\":\"obs\""), std::string::npos);
+  EXPECT_NE(trace.body.find("\"outcome\":\"ok\""), std::string::npos);
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+}
+
+TEST(ServerTest, DrainCancelsInFlightAndFlushesJournals) {
+  ServerOptions options;
+  options.journal_dir = ::testing::TempDir();
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  PostStatement(port,
+                R"js({"session":"drain","statement":)js"
+                R"js("let X = {{a,b,c,d,e,f,g,h,i,j,k,l,m,n,o,p}}"})js");
+
+  // A statement that would run ~forever, launched from a helper thread;
+  // the drain below must cancel it rather than wait it out.
+  ClientResponse slow;
+  std::thread in_flight([&] {
+    slow = PostStatement(
+        port, R"js({"session":"drain","statement":"eval pow(pow(X))"})js");
+  });
+  // Give it time to pass admission and start executing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+  in_flight.join();
+
+  // The in-flight statement ended in a typed outcome: cancelled by the
+  // drain (or, if the race went the other way, shed before starting).
+  EXPECT_TRUE(slow.status == 499 || slow.status == 503 || slow.status == 0)
+      << slow.raw;
+  if (slow.status == 499) {
+    EXPECT_NE(slow.body.find("\"outcome\":\"cancel\""), std::string::npos);
+  }
+
+  // The session journal was flushed on drain.
+  const std::string path =
+      options.journal_dir + "/session-drain.jsonl";
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr) << path;
+  char first[16] = {};
+  EXPECT_GT(std::fread(first, 1, sizeof(first) - 1, f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(first).substr(0, 10), "{\"header\":");
+
+  // After drain every new connection is refused or reset — the listener
+  // is gone.
+  auto after = Fetch(port, "GET", "/healthz", "");
+  EXPECT_EQ(after.status, 0);
+}
+
+TEST(ServerTest, ConcurrentSessionsSurviveMixedLoad) {
+  ServerOptions options;
+  options.executors = 4;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 12;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0}, typed_errors{0}, unexpected{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const std::string session = "mix" + std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        ClientResponse r;
+        switch (i % 3) {
+          case 0:
+            r = PostStatement(port, "{\"session\":\"" + session +
+                                        "\",\"statement\":"
+                                        "\"count pow('{{a,b,c}})\"}");
+            break;
+          case 1:  // parse error: typed 400
+            r = PostStatement(port, "{\"session\":\"" + session +
+                                        "\",\"statement\":\"eval ((\"}");
+            break;
+          default:  // deadline trip on a big statement
+            r = PostStatement(
+                port, "{\"session\":\"" + session +
+                          "\",\"statement\":\"count pow(pow('{{a,b,c,d,e,f,"
+                          "g,h,i,j,k,l,m,n,o,p}}))\",\"timeout_ms\":10}");
+            break;
+        }
+        if (r.status == 200) {
+          ok.fetch_add(1);
+        } else if (r.status == 400 || r.status == 504 || r.status == 429 ||
+                   r.status == 503 || r.status == 507) {
+          typed_errors.fetch_add(1);
+        } else {
+          unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_EQ(ok.load() + typed_errors.load(), kThreads * kPerThread);
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_GT(typed_errors.load(), 0);
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+  const ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace bagalg::net

@@ -507,8 +507,13 @@ TEST(JournalTest, ExportWritesOneJsonObjectPerLine) {
     ASSERT_FALSE(line.empty());
     EXPECT_EQ(line.front(), '{') << line;
     EXPECT_EQ(line.back(), '}') << line;
+    if (lines == 1) {
+      // The export opens with a build-info header line.
+      EXPECT_NE(line.find("\"header\":true"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"build\""), std::string::npos) << line;
+    }
   }
-  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(lines, 3u);  // header + one line per journaled statement
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Concurrent smoke test for bagalgd. Stdlib only.
+
+Starts the server, then drives it from N concurrent sessions issuing a
+mixed statement diet — well-formed queries, budget-refused queries,
+deadline-tripped queries, and malformed requests — and asserts the
+robustness contract:
+
+  * every request ends in a typed outcome (HTTP status + JSON error
+    envelope), never a hang or an untyped connection drop*;
+  * the server process survives the whole run (no crash, no abort);
+  * /metrics stays a valid-looking Prometheus exposition;
+  * SIGTERM at the end drains cleanly with exit code 0.
+
+(*) When BAGALG_FAULT=io:... is armed, injected disconnects legally tear
+connections mid-request; the client retries those (bounded) and they must
+show up in the server's io_errors counter rather than crash it. Run the
+chaos variant as:
+
+  BAGALG_FAULT=io:p=0.05:seed=7 python3 tools/server_smoke.py \
+      --binary build/examples/bagalgd --sessions 32 --requests 1000
+"""
+
+import argparse
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+# 16 atoms: pow() preflight-estimates 2^16 = 65536 <= the server budget
+# (100000), so it runs — and trips its 10ms deadline mid-enumeration.
+BIG = "{{a,b,c,d,e,f,g,h,i,j,k,l,m,n,o,p}}"
+# 17 atoms: pow() preflight-estimates 2^17 = 131072 > the budget, so the
+# governor refuses it before execution (E001 -> 422).
+BIGGER = "{{a,b,c,d,e,f,g,h,i,j,k,l,m,n,o,p,q}}"
+
+# (payload-maker, set of acceptable HTTP statuses)
+def statement_mix(session, i):
+    kind = i % 5
+    if kind == 0:  # plain success
+        return ({"session": session, "statement": "count pow('{{a,b,c}})"},
+                {200})
+    if kind == 1:  # exec engine path
+        return ({"session": session,
+                 "statement": "exec uplus('{{a, b}}, '{{b, c}})"}, {200})
+    if kind == 2:  # budget refusal (server started with --budget)
+        return ({"session": session, "statement": f"eval pow('{BIGGER})"},
+                {422})
+    if kind == 3:  # deadline trip
+        return ({"session": session,
+                 "statement": f"count pow('{BIG})",
+                 "timeout_ms": 10}, {504})
+    # malformed statement: typed 400
+    return ({"session": session, "statement": "eval (("}, {400})
+
+
+class Client(threading.Thread):
+    """One session's worth of sequential requests, with bounded retries
+    for connection-level failures (expected under io fault injection) and
+    retryable server responses (429/503)."""
+
+    def __init__(self, port, session, requests, stats, lock):
+        super().__init__()
+        self.port = port
+        self.session = session
+        self.requests = requests
+        self.stats = stats
+        self.lock = lock
+        self.failures = []
+
+    def post(self, payload):
+        body = json.dumps(payload)
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            conn.request("POST", "/v1/statement", body,
+                         {"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            return resp.status, resp.read()
+        finally:
+            conn.close()
+
+    def run(self):
+        for i in range(self.requests):
+            payload, want = statement_mix(self.session, i)
+            outcome = None
+            for _attempt in range(25):
+                try:
+                    status, _body = self.post(payload)
+                except OSError:
+                    # Torn connection (injected disconnect): retry.
+                    with self.lock:
+                        self.stats["torn"] += 1
+                    time.sleep(0.01)
+                    continue
+                if status in (429, 503):
+                    # Shed: retryable by contract.
+                    with self.lock:
+                        self.stats["shed"] += 1
+                    time.sleep(0.05)
+                    continue
+                outcome = status
+                break
+            if outcome is None:
+                self.failures.append(f"{self.session}#{i}: no typed outcome")
+            elif outcome not in want:
+                self.failures.append(
+                    f"{self.session}#{i}: HTTP {outcome}, wanted {want}")
+            with self.lock:
+                self.stats[outcome] = self.stats.get(outcome, 0) + 1
+
+
+def fetch(port, path, tries=25):
+    for _ in range(tries):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            conn.request("GET", path)
+            resp = conn.getresponse()
+            return resp.status, resp.read().decode("utf-8", "replace")
+        except OSError:
+            time.sleep(0.02)
+        finally:
+            conn.close()
+    return 0, ""
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", required=True)
+    parser.add_argument("--sessions", type=int, default=32)
+    parser.add_argument("--requests", type=int, default=1000,
+                        help="total requests across all sessions")
+    args = parser.parse_args()
+
+    per_session = max(1, args.requests // args.sessions)
+    fault = os.environ.get("BAGALG_FAULT", "")
+    print(f"smoke: {args.sessions} sessions x {per_session} requests"
+          f" (BAGALG_FAULT={fault or 'off'})")
+
+    proc = subprocess.Popen(
+        [args.binary, "--port=0", "--budget=100000", "--executors=8",
+         "--queue=128"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        start_new_session=True)
+    try:
+        line = proc.stdout.readline().strip()
+        if not line.startswith("bagalgd listening on "):
+            print(f"FAIL: bad banner: {line!r}", file=sys.stderr)
+            return 1
+        port = int(line.rsplit(":", 1)[1])
+
+        stats = {"torn": 0, "shed": 0}
+        lock = threading.Lock()
+        clients = [
+            Client(port, f"smoke{i}", per_session, stats, lock)
+            for i in range(args.sessions)
+        ]
+        start = time.time()
+        for c in clients:
+            c.start()
+        for c in clients:
+            c.join()
+        wall = time.time() - start
+
+        failures = [f for c in clients for f in c.failures]
+        if proc.poll() is not None:
+            print(f"FAIL: server died mid-run (exit {proc.poll()}):\n"
+                  f"{proc.stderr.read()}", file=sys.stderr)
+            return 1
+
+        status, metrics = fetch(port, "/metrics")
+        if status != 200 or "bagalg_server_requests_total" not in metrics:
+            failures.append(f"/metrics unhealthy: HTTP {status}")
+        for needed in ("# TYPE bagalg_server_requests_total counter",
+                       "bagalg_server_io_errors_total"):
+            if needed not in metrics:
+                failures.append(f"/metrics missing {needed!r}")
+        status, health = fetch(port, "/healthz")
+        if status != 200 or '"status":"serving"' not in health:
+            failures.append(f"/healthz unhealthy: HTTP {status} {health!r}")
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            failures.append("server did not drain within 60s of SIGTERM")
+            code = -1
+        if code != 0:
+            failures.append(f"server exited {code} after SIGTERM, wanted 0")
+        drain_line = proc.stderr.read().strip().splitlines()
+        print(f"smoke: {args.sessions * per_session} requests in "
+              f"{wall:.1f}s; outcomes={stats}")
+        if drain_line:
+            print(f"smoke: {drain_line[-1]}")
+
+        if failures:
+            print(f"FAILED: {len(failures)} problem(s)", file=sys.stderr)
+            for f in failures[:40]:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print("OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,6 +105,15 @@ def validate_journal(path, schemas_dir, errors):
             except json.JSONDecodeError as exc:
                 errors.append(f"{where}: not valid JSON: {exc}")
                 continue
+            # A self-describing header line ({"header":true, "build":{...}})
+            # may precede the entries; it is not a journal entry and is only
+            # legal as line 1.
+            if isinstance(entry, dict) and entry.get("header") is True:
+                if entries or prev_seq:
+                    errors.append(f"{where}: header line after entries")
+                if "build" not in entry:
+                    errors.append(f"{where}: header lacks 'build'")
+                continue
             check_schema(entry, schema, where, errors)
             entries += 1
             seq = entry.get("seq")
