@@ -7,7 +7,12 @@
 //  - full loopback round trips against an in-process Server — one
 //    keep-alive connection issuing POST /v1/statement (engine path) and
 //    GET /healthz (no-engine path), so the preflight/admission/executor
-//    pipeline is on the measured path.
+//    pipeline is on the measured path;
+//  - event-loop scaling: pipelined bursts on one connection (syscalls
+//    amortized across the batch), a 1000-connection keep-alive fleet with
+//    every outcome typed (ok or shed — an untyped failure aborts the
+//    bench), and the BAG1 binary statement path against its JSON
+//    equivalent on both small and large result bags.
 //
 // Collected by bench/run_benchmarks.sh into BENCH_bench_server.json.
 
@@ -113,6 +118,50 @@ class LoopbackClient {
 
   bool ok() const { return fd_ >= 0; }
 
+  static std::string BuildRequest(const std::string& method,
+                                  const std::string& path,
+                                  const std::string& body,
+                                  const std::string& content_type =
+                                      "application/json") {
+    return method + " " + path + " HTTP/1.1\r\nHost: bench\r\nContent-Type: " +
+           content_type + "\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\n\r\n" + body;
+  }
+
+  bool SendRaw(const std::string& bytes) { return WriteAll(fd_, bytes).ok(); }
+
+  // Reads one Content-Length response from the connection's buffer,
+  // refilling from the socket as needed. Returns the HTTP status, with
+  // -1 on connection failure; *bytes (optional) gets the response size.
+  int ReadResponseStatus(size_t* bytes = nullptr) {
+    // Cursor-based: pipelined responses pile up in buf_ and each call
+    // advances pos_ instead of memmoving the tail — the per-response cost
+    // is one bounded scan, so the client does not dominate the bench.
+    size_t header_end;
+    while ((header_end = buf_.find("\r\n\r\n", pos_)) == std::string::npos) {
+      if (!Refill()) return -1;
+    }
+    const size_t cl = buf_.find("Content-Length: ", pos_);
+    if (cl == std::string::npos || cl > header_end) return -1;
+    const size_t content_length = static_cast<size_t>(
+        std::strtoull(buf_.c_str() + cl + 16, nullptr, 10));
+    const size_t total = header_end + 4 + content_length;
+    while (buf_.size() < total) {
+      if (!Refill()) return -1;
+    }
+    const int status = std::atoi(buf_.c_str() + pos_ + 9);
+    if (bytes != nullptr) *bytes = total - pos_;
+    pos_ = total;
+    if (pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    } else if (pos_ > (1u << 20)) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+    return status;
+  }
+
   // Returns the raw response (headers + body), empty on failure.
   std::string RoundTrip(const std::string& method, const std::string& path,
                         const std::string& body) {
@@ -145,7 +194,17 @@ class LoopbackClient {
   }
 
  private:
+  bool Refill() {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
   int fd_ = -1;
+  std::string buf_;
+  size_t pos_ = 0;
 };
 
 uint16_t SharedServerPort() {
@@ -160,6 +219,17 @@ uint16_t SharedServerPort() {
     setup.RoundTrip(
         "POST", "/v1/statement",
         R"js({"session":"bench","statement":"let X = {{a, a, b, c}}"})js");
+    // A 256-entry bag for the serialization-bound benches (under the
+    // 512-entry streaming threshold, so responses use Content-Length).
+    std::string literal = "let BIG = {{";
+    for (int i = 0; i < 256; ++i) {
+      if (i != 0) literal += ", ";
+      literal += "w" + std::to_string(i);
+    }
+    literal += "}}";
+    setup.RoundTrip("POST", "/v1/statement",
+                    "{\"session\":\"bench\",\"statement\":\"" + literal +
+                        "\"}");
     return server->port();
   }();
   return port;
@@ -201,6 +271,168 @@ void BM_LoopbackHealthz(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_LoopbackHealthz);
+
+void BM_LoopbackStatementPipelined(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  LoopbackClient client(SharedServerPort());
+  if (!client.ok()) {
+    state.SkipWithError("loopback connect failed");
+    return;
+  }
+  const std::string request = LoopbackClient::BuildRequest(
+      "POST", "/v1/statement",
+      R"js({"session":"bench","statement":"eval uplus(X, X)"})js");
+  std::string batch;
+  for (int i = 0; i < depth; ++i) batch += request;
+  for (auto _ : state) {
+    if (!client.SendRaw(batch)) {
+      state.SkipWithError("pipelined write failed");
+      return;
+    }
+    for (int i = 0; i < depth; ++i) {
+      if (client.ReadResponseStatus() != 200) {
+        state.SkipWithError("pipelined response not ok");
+        return;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * depth);
+}
+BENCHMARK(BM_LoopbackStatementPipelined)->Arg(16)->Arg(64);
+
+void BM_LoopbackStatementBag1(benchmark::State& state) {
+  LoopbackClient client(SharedServerPort());
+  if (!client.ok()) {
+    state.SkipWithError("loopback connect failed");
+    return;
+  }
+  WireStatementRequest statement;
+  statement.session = "bench";
+  statement.statement = "eval uplus(X, X)";
+  const std::string request = LoopbackClient::BuildRequest(
+      "POST", "/v1/statement",
+      EncodeFrame(WireFormat::kBinary, EncodeStatementRequest(statement)),
+      "application/x-bag1");
+  for (auto _ : state) {
+    if (!client.SendRaw(request) || client.ReadResponseStatus() != 200) {
+      state.SkipWithError("bag1 round trip failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoopbackStatementBag1);
+
+// The serialization-bound pair: the same 256-entry stored bag fetched as
+// a JSON envelope and as a BAG1 binary frame. The delta is the price of
+// JSON quoting/escaping plus client-side re-parse avoidance.
+void LargeBagRoundTrips(benchmark::State& state, const char* content_type,
+                        const std::string& request) {
+  LoopbackClient client(SharedServerPort());
+  if (!client.ok()) {
+    state.SkipWithError("loopback connect failed");
+    return;
+  }
+  (void)content_type;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    size_t response_bytes = 0;
+    if (!client.SendRaw(request) ||
+        client.ReadResponseStatus(&response_bytes) != 200) {
+      state.SkipWithError("large-bag round trip failed");
+      return;
+    }
+    bytes += static_cast<int64_t>(response_bytes);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(bytes);
+}
+
+void BM_LoopbackLargeBagJson(benchmark::State& state) {
+  LargeBagRoundTrips(
+      state, "application/json",
+      LoopbackClient::BuildRequest(
+          "POST", "/v1/statement",
+          R"js({"session":"bench","statement":"eval BIG"})js"));
+}
+BENCHMARK(BM_LoopbackLargeBagJson);
+
+void BM_LoopbackLargeBagBag1(benchmark::State& state) {
+  WireStatementRequest statement;
+  statement.session = "bench";
+  statement.statement = "eval BIG";
+  LargeBagRoundTrips(
+      state, "application/x-bag1",
+      LoopbackClient::BuildRequest(
+          "POST", "/v1/statement",
+          EncodeFrame(WireFormat::kBinary, EncodeStatementRequest(statement)),
+          "application/x-bag1"));
+}
+BENCHMARK(BM_LoopbackLargeBagBag1);
+
+// The headline event-loop bench: a fleet of keep-alive connections, every
+// one with a statement in flight before any response is read. Each
+// outcome must be typed — 200 served or 429/503 shed; anything else
+// (torn connection, untyped status) aborts the benchmark.
+void BM_LoopbackConcurrentKeepAlive(benchmark::State& state) {
+  const int fleet = static_cast<int>(state.range(0));
+  static const uint16_t port = [] {
+    ServerOptions options;
+    options.executors = 4;
+    options.queue_capacity = 2048;
+    auto started = Server::Start(std::move(options));
+    static std::unique_ptr<Server> server = std::move(*started);
+    return server->port();
+  }();
+  std::vector<std::unique_ptr<LoopbackClient>> clients;
+  clients.reserve(static_cast<size_t>(fleet));
+  for (int i = 0; i < fleet; ++i) {
+    auto client = std::make_unique<LoopbackClient>(port);
+    if (!client->ok()) {
+      state.SkipWithError("fleet connect failed");
+      return;
+    }
+    clients.push_back(std::move(client));
+  }
+  std::vector<std::string> requests;
+  requests.reserve(8);
+  for (int s = 0; s < 8; ++s) {
+    requests.push_back(LoopbackClient::BuildRequest(
+        "POST", "/v1/statement",
+        "{\"session\":\"fleet" + std::to_string(s) +
+            "\",\"statement\":\"count '{{a, b}}\"}"));
+  }
+  int64_t served = 0, shed = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < fleet; ++i) {
+      if (!clients[static_cast<size_t>(i)]->SendRaw(
+              requests[static_cast<size_t>(i % 8)])) {
+        state.SkipWithError("fleet write failed");
+        return;
+      }
+    }
+    for (int i = 0; i < fleet; ++i) {
+      const int status =
+          clients[static_cast<size_t>(i)]->ReadResponseStatus();
+      if (status == 200) {
+        ++served;
+      } else if (status == 429 || status == 503) {
+        ++shed;
+      } else {
+        state.SkipWithError("untyped outcome in fleet");
+        return;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * fleet);
+  state.counters["served"] =
+      benchmark::Counter(static_cast<double>(served));
+  state.counters["shed"] = benchmark::Counter(static_cast<double>(shed));
+}
+BENCHMARK(BM_LoopbackConcurrentKeepAlive)
+    ->Arg(128)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bagalg::net

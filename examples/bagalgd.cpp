@@ -11,8 +11,10 @@
 //   --port=N               listen port, 0 = any  (default 0)
 //   --executors=N          statement lanes       (default 4)
 //   --queue=N              admission queue bound (default 64)
-//   --max-connections=N    connection cap        (default 256)
+//   --max-connections=N    connection cap        (default 4096)
 //   --max-sessions=N       session cap           (default 128)
+//   --stream-threshold=N   chunk-stream result bags with >= N entries
+//                          (default 512, 0 = never stream)
 //   --timeout-ms=N         per-statement wall deadline ceiling (0 = off)
 //   --memlimit-bytes=N     per-statement memory cap ceiling    (0 = off)
 //   --budget=N             cost-budget admission ceiling       (0 = off)
@@ -83,6 +85,8 @@ int main(int argc, char** argv) {
       options.default_memlimit_bytes = n;
     } else if (flag == "--budget" && ParseUint(value, &n)) {
       options.cost_budget = n;
+    } else if (flag == "--stream-threshold" && ParseUint(value, &n)) {
+      options.stream_entries_threshold = static_cast<size_t>(n);
     } else if (flag == "--journal-dir") {
       options.journal_dir = value;
     } else {
@@ -119,6 +123,9 @@ int main(int argc, char** argv) {
             << " ok=" << stats.ok << " refused=" << stats.refused
             << " shed=" << stats.shed << " tripped=" << stats.tripped
             << " errors=" << stats.errors << " io_errors=" << stats.io_errors
-            << "\n";
+            << " keepalive_reuses=" << stats.keepalive_reuses
+            << " pipelined=" << stats.pipelined
+            << " bag1=" << stats.bag1_requests
+            << " streamed=" << stats.streamed_responses << "\n";
   return 0;
 }

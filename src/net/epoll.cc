@@ -1,0 +1,80 @@
+#include "src/net/epoll.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace bagalg::net {
+
+namespace {
+
+Status Errno(std::string_view what) {
+  return Status::Internal("epoll: " + std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+Result<EpollLoop> EpollLoop::Create() {
+  const int fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0) return Errno("epoll_create1");
+  EpollLoop loop;
+  loop.epoll_fd_ = Fd(fd);
+  loop.scratch_.resize(64);
+  return loop;
+}
+
+Status EpollLoop::Add(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev = {};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Errno("ctl(ADD)");
+  }
+  ++registered_;
+  return Status::Ok();
+}
+
+Status EpollLoop::Modify(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev = {};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Errno("ctl(MOD)");
+  }
+  return Status::Ok();
+}
+
+Status EpollLoop::Remove(int fd) {
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return Errno("ctl(DEL)");
+  }
+  if (registered_ > 0) --registered_;
+  return Status::Ok();
+}
+
+Result<int> EpollLoop::Wait(std::vector<ReadyEvent>* out, int timeout_ms) {
+  out->clear();
+  // Grow the scratch array when a full batch suggests more were ready.
+  if (scratch_.size() < registered_ && scratch_.size() < 4096) {
+    scratch_.resize(std::min<size_t>(std::max(registered_, size_t{64}),
+                                     size_t{4096}));
+  }
+  while (true) {
+    const int n = ::epoll_wait(epoll_fd_.get(), scratch_.data(),
+                               static_cast<int>(scratch_.size()), timeout_ms);
+    if (n >= 0) {
+      out->reserve(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        out->push_back(
+            ReadyEvent{scratch_[static_cast<size_t>(i)].data.u64,
+                       scratch_[static_cast<size_t>(i)].events});
+      }
+      return n;
+    }
+    if (errno == EINTR) continue;
+    return Errno("wait");
+  }
+}
+
+}  // namespace bagalg::net

@@ -1,0 +1,60 @@
+#ifndef BAGALG_NET_EPOLL_H_
+#define BAGALG_NET_EPOLL_H_
+
+/// \file epoll.h
+/// A thin RAII wrapper over epoll(7) for the bagalgd event loop.
+///
+/// The loop runs level-triggered: correctness never depends on draining a
+/// socket to EAGAIN inside one readiness notification, so a connection
+/// state machine that stops mid-buffer (backpressure, bounded reads) is
+/// simply re-notified on the next Wait. Each registered fd carries a
+/// uint64 tag the server uses as the connection id; the listener and the
+/// cross-thread wakeup eventfd get reserved tags.
+
+#include <cstdint>
+#include <sys/epoll.h>
+#include <vector>
+
+#include "src/net/io.h"
+#include "src/util/result.h"
+
+namespace bagalg::net {
+
+/// One readiness notification: which registered tag, and what it is ready
+/// for (a bitmask of EPOLLIN / EPOLLOUT / EPOLLHUP / EPOLLERR / ...).
+struct ReadyEvent {
+  uint64_t tag = 0;
+  uint32_t events = 0;
+};
+
+class EpollLoop {
+ public:
+  static Result<EpollLoop> Create();
+
+  EpollLoop() = default;
+  EpollLoop(EpollLoop&&) = default;
+  EpollLoop& operator=(EpollLoop&&) = default;
+
+  /// Registers `fd` with interest mask `events` (level-triggered), tagged.
+  Status Add(int fd, uint32_t events, uint64_t tag);
+  /// Replaces the interest mask of a registered fd.
+  Status Modify(int fd, uint32_t events, uint64_t tag);
+  /// Deregisters `fd`. Safe to call for an fd about to be closed.
+  Status Remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 = forever) and appends the ready set to
+  /// `*out` (cleared first). EINTR is retried. Returns the ready count.
+  Result<int> Wait(std::vector<ReadyEvent>* out, int timeout_ms);
+
+  /// Number of currently registered fds (the server.epoll.fds gauge).
+  size_t registered() const { return registered_; }
+
+ private:
+  Fd epoll_fd_;
+  size_t registered_ = 0;
+  std::vector<epoll_event> scratch_;
+};
+
+}  // namespace bagalg::net
+
+#endif  // BAGALG_NET_EPOLL_H_

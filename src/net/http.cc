@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 #include "src/net/io.h"
@@ -64,6 +65,7 @@ Status ParseRequestHead(std::string_view head, HttpRequest* out) {
   if (version != "HTTP/1.1" && version != "HTTP/1.0") {
     return Status::ParseError("http: unsupported version");
   }
+  out->http11 = version == "HTTP/1.1";
   if (target.empty() || target[0] != '/') {
     return Status::ParseError("http: bad request target");
   }
@@ -92,72 +94,144 @@ Status ParseRequestHead(std::string_view head, HttpRequest* out) {
 
 }  // namespace
 
+bool RequestWantsClose(const HttpRequest& request) {
+  if (!request.http11) return true;  // no HTTP/1.0 keep-alive
+  const auto it = request.headers.find("connection");
+  return it != request.headers.end() &&
+         ToLower(it->second).find("close") != std::string::npos;
+}
+
+// ------------------------------------------------------------ HttpReader
+
+void HttpReader::Feed(std::string_view bytes) {
+  // Compact before growing: once the consumed prefix dominates the buffer
+  // (heavy pipelining), shift the live bytes down so memory stays bounded
+  // by the in-flight data, not the connection's lifetime traffic.
+  if (pos_ > 4096 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    scan_ -= pos_;
+    if (have_head_) body_start_ -= pos_;
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+Result<bool> HttpReader::Next(HttpRequest* out) {
+  if (!have_head_) {
+    // Hunt for the head terminator, resuming where the last scan stopped
+    // (minus 3 so a terminator split across Feed calls is still found).
+    const size_t from = std::max(pos_, scan_ >= 3 ? scan_ - 3 : pos_);
+    const size_t head_end = buffer_.find("\r\n\r\n", from);
+    scan_ = buffer_.size();
+    if (head_end == std::string::npos) {
+      // The cap applies to *this request's* header bytes — everything
+      // from pos_ — never to leftovers of previously parsed requests.
+      if (buffer_.size() - pos_ > limits_.max_header_bytes) {
+        return Status::ResourceExhausted(
+            "http: header block exceeds " +
+            std::to_string(limits_.max_header_bytes) + " bytes");
+      }
+      return false;
+    }
+    pending_ = HttpRequest();
+    if (head_end - pos_ > limits_.max_header_bytes) {
+      return Status::ResourceExhausted(
+          "http: header block exceeds " +
+          std::to_string(limits_.max_header_bytes) + " bytes");
+    }
+    BAGALG_RETURN_IF_ERROR(ParseRequestHead(
+        std::string_view(buffer_).substr(pos_, head_end - pos_), &pending_));
+    body_len_ = 0;
+    if (auto it = pending_.headers.find("content-length");
+        it != pending_.headers.end()) {
+      char* end = nullptr;
+      const unsigned long long v =
+          std::strtoull(it->second.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || it->second.empty()) {
+        return Status::ParseError("http: bad Content-Length");
+      }
+      if (v > limits_.max_body_bytes) {
+        return Status::ResourceExhausted(
+            "http: body of " + it->second + " bytes exceeds cap of " +
+            std::to_string(limits_.max_body_bytes));
+      }
+      body_len_ = static_cast<size_t>(v);
+    }
+    if (pending_.headers.count("transfer-encoding") != 0) {
+      return Status::ParseError("http: chunked bodies unsupported");
+    }
+    body_start_ = head_end + 4;
+    have_head_ = true;
+  }
+  if (buffer_.size() < body_start_ + body_len_) return false;
+  pending_.body = buffer_.substr(body_start_, body_len_);
+  *out = std::move(pending_);
+  pending_ = HttpRequest();
+  // Bytes after the body — the next pipelined request — stay buffered.
+  pos_ = body_start_ + body_len_;
+  scan_ = pos_;
+  have_head_ = false;
+  return true;
+}
+
+std::string HttpReader::TakeRemainder() {
+  std::string rest = buffer_.substr(pos_);
+  buffer_.clear();
+  pos_ = scan_ = 0;
+  have_head_ = false;
+  pending_ = HttpRequest();
+  return rest;
+}
+
 Result<HttpRequest> ReadHttpRequest(int fd, std::string* buffer,
                                     const HttpLimits& limits,
                                     const std::function<bool()>& should_stop) {
-  // Accumulate until the header terminator, within the header cap.
-  size_t head_end;
-  while ((head_end = buffer->find("\r\n\r\n")) == std::string::npos) {
-    if (buffer->size() > limits.max_header_bytes) {
-      return Status::ResourceExhausted("http: header block exceeds " +
-                                       std::to_string(limits.max_header_bytes) +
-                                       " bytes");
+  HttpReader reader(limits);
+  reader.Feed(*buffer);
+  buffer->clear();
+  while (true) {
+    HttpRequest request;
+    auto parsed = reader.Next(&request);
+    if (!parsed.ok()) {
+      *buffer = reader.TakeRemainder();
+      return parsed.status();
     }
-    BAGALG_RETURN_IF_ERROR(FillMore(fd, buffer, limits, should_stop));
-  }
-
-  HttpRequest request;
-  BAGALG_RETURN_IF_ERROR(
-      ParseRequestHead(std::string_view(*buffer).substr(0, head_end),
-                       &request));
-
-  size_t body_len = 0;
-  if (auto it = request.headers.find("content-length");
-      it != request.headers.end()) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || it->second.empty()) {
-      return Status::ParseError("http: bad Content-Length");
+    if (*parsed) {
+      *buffer = reader.TakeRemainder();
+      return request;
     }
-    if (v > limits.max_body_bytes) {
-      return Status::ResourceExhausted("http: body of " + it->second +
-                                       " bytes exceeds cap of " +
-                                       std::to_string(limits.max_body_bytes));
-    }
-    body_len = static_cast<size_t>(v);
-  }
-  if (request.headers.count("transfer-encoding") != 0) {
-    return Status::ParseError("http: chunked bodies unsupported");
-  }
-
-  const size_t body_start = head_end + 4;
-  while (buffer->size() < body_start + body_len) {
-    // Mid-request EOF/drain is a vanished peer, not a clean close: the
-    // request is torn, so surface it as a connection-level io error.
-    Status st = FillMore(fd, buffer, limits, should_stop);
+    std::string more;
+    const Status st = FillMore(fd, &more, limits, should_stop);
     if (!st.ok()) {
-      if (st.code() == StatusCode::kCancelled) {
+      const bool mid_request = reader.mid_request();
+      *buffer = reader.TakeRemainder();
+      // Mid-request EOF/drain is a vanished peer, not a clean close: the
+      // request is torn, so surface it as a connection-level io error.
+      if (mid_request && st.code() == StatusCode::kCancelled) {
         return Status::Unavailable("io: connection closed mid-request");
       }
       return st;
     }
+    reader.Feed(more);
   }
-  request.body = buffer->substr(body_start, body_len);
-  buffer->erase(0, body_start + body_len);
-  return request;
 }
 
-Status WriteHttpResponse(int fd, const HttpResponse& response) {
+std::string FormatHttpResponseHead(const HttpResponse& response, bool chunked,
+                                   size_t content_length) {
   std::string out;
-  out.reserve(256 + response.body.size());
+  out.reserve(256);
   out.append("HTTP/1.1 ");
   out.append(std::to_string(response.status));
   out.push_back(' ');
   out.append(HttpReasonPhrase(response.status));
   out.append("\r\nContent-Type: ");
   out.append(response.content_type);
-  out.append("\r\nContent-Length: ");
-  out.append(std::to_string(response.body.size()));
+  if (chunked) {
+    out.append("\r\nTransfer-Encoding: chunked");
+  } else {
+    out.append("\r\nContent-Length: ");
+    out.append(std::to_string(content_length));
+  }
   for (const auto& [name, value] : response.extra_headers) {
     out.append("\r\n");
     out.append(name);
@@ -166,8 +240,31 @@ Status WriteHttpResponse(int fd, const HttpResponse& response) {
   }
   if (response.close) out.append("\r\nConnection: close");
   out.append("\r\n\r\n");
+  return out;
+}
+
+std::string FormatHttpResponse(const HttpResponse& response) {
+  std::string out =
+      FormatHttpResponseHead(response, /*chunked=*/false,
+                             response.body.size());
   out.append(response.body);
-  return WriteAll(fd, out);
+  return out;
+}
+
+void AppendHttpChunk(std::string_view data, std::string* out) {
+  if (data.empty()) return;
+  char size_line[32];
+  const int n =
+      std::snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+  out->append(size_line, static_cast<size_t>(n));
+  out->append(data);
+  out->append("\r\n");
+}
+
+void AppendHttpLastChunk(std::string* out) { out->append("0\r\n\r\n"); }
+
+Status WriteHttpResponse(int fd, const HttpResponse& response) {
+  return WriteAll(fd, FormatHttpResponse(response));
 }
 
 const char* HttpReasonPhrase(int status) {

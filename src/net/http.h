@@ -3,10 +3,19 @@
 
 /// \file http.h
 /// A deliberately small HTTP/1.1 server-side implementation: exactly what
-/// bagalgd needs — request parsing with hard caps, keep-alive, and response
-/// emission — and nothing it does not (no chunked bodies, no TLS, no
-/// multipart). Every limit violation and malformation is a typed Status so
-/// the connection loop can answer 400/413 instead of guessing.
+/// bagalgd needs — request parsing with hard caps, keep-alive with
+/// pipelining, chunked response emission for streamed bodies — and nothing
+/// it does not (no request-side chunked bodies, no TLS, no multipart).
+/// Every limit violation and malformation is a typed Status so the
+/// connection loop can answer 400/413 instead of guessing.
+///
+/// The parser is an *incremental* state machine (HttpReader): the epoll
+/// connection layer feeds it whatever bytes recv produced and asks for
+/// complete requests. Bytes after a parsed body — the next pipelined
+/// request — stay buffered for the following Next() call; they are never
+/// dropped, and they never count against the next request's header cap
+/// until they are that request's header bytes. The blocking
+/// ReadHttpRequest wrapper (tests, simple clients) runs the same machine.
 ///
 /// Also home of the StatusCode → HTTP status mapping, the outward face of
 /// the retryability contract in src/util/status.h: retryable codes map to
@@ -32,8 +41,8 @@ struct HttpLimits {
   /// Cap on Content-Length. Exceeding it is a 413-shaped
   /// kResourceExhausted; a statement this large is an attack, not a query.
   size_t max_body_bytes = 1024 * 1024;
-  /// Poll granularity while waiting for request bytes; bounds how long a
-  /// drain waits on an idle keep-alive connection.
+  /// Poll granularity while waiting for request bytes in the blocking
+  /// reader; bounds how long a drain waits on an idle connection.
   int read_poll_ms = 100;
 };
 
@@ -41,15 +50,63 @@ struct HttpRequest {
   std::string method;  // uppercase as sent: GET, POST, ...
   std::string path;    // target up to '?'
   std::string query;   // after '?', possibly empty
+  /// True for HTTP/1.1 (keep-alive by default); false for HTTP/1.0
+  /// (bagalgd answers 1.0 clients and closes — no 1.0 keep-alive).
+  bool http11 = true;
   /// Header names lowercased; last occurrence wins.
   std::map<std::string, std::string> headers;
   std::string body;
 };
 
-/// Reads one request from `fd`. `buffer` carries bytes left over from the
-/// previous request on this connection (keep-alive pipelining) and must
-/// persist across calls. `should_stop` is polled while waiting for bytes;
-/// when it turns true between requests the read aborts with
+/// True when the connection must close after answering `request`:
+/// an explicit "Connection: close", or an HTTP/1.0 client.
+bool RequestWantsClose(const HttpRequest& request);
+
+/// Incremental request parser: feed bytes as they arrive, pull complete
+/// requests. One reader per connection; state persists across requests so
+/// keep-alive pipelining works regardless of how recv chunks the stream.
+class HttpReader {
+ public:
+  HttpReader() = default;
+  explicit HttpReader(HttpLimits limits) : limits_(limits) {}
+
+  /// Appends raw bytes received from the socket.
+  void Feed(std::string_view bytes);
+
+  /// Tries to extract the next complete request.
+  ///   ok(true)   *out holds the request; trailing pipelined bytes remain
+  ///              buffered for the next call.
+  ///   ok(false)  more bytes are needed (call Feed, then Next again).
+  ///   error      kParseError (400), kResourceExhausted (431/413) — the
+  ///              connection is poisoned; answer and close.
+  Result<bool> Next(HttpRequest* out);
+
+  /// Unconsumed byte count (partial request and/or pipelined followers).
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+  /// True while a parsed request head is waiting for its body bytes —
+  /// an EOF here means the peer vanished mid-request, not a clean close.
+  bool mid_request() const { return have_head_; }
+
+  /// Moves the unconsumed bytes out (resets the reader). The blocking
+  /// wrapper uses this to hand leftovers back to its caller's buffer.
+  std::string TakeRemainder();
+
+ private:
+  HttpLimits limits_;
+  std::string buffer_;
+  size_t pos_ = 0;   // start of the current unparsed request
+  size_t scan_ = 0;  // high-water mark of the head-terminator search
+  bool have_head_ = false;
+  HttpRequest pending_;    // parsed head awaiting body bytes
+  size_t body_start_ = 0;  // absolute offset of the pending body
+  size_t body_len_ = 0;
+};
+
+/// Reads one request from `fd`, blocking. `buffer` carries bytes left over
+/// from the previous request on this connection (keep-alive pipelining)
+/// and must persist across calls. `should_stop` is polled while waiting
+/// for bytes; when it turns true between requests the read aborts with
 /// kCancelled("draining").
 ///
 /// Error map: kCancelled = orderly close or drain (close quietly);
@@ -68,6 +125,23 @@ struct HttpResponse {
   /// Sends "Connection: close" and ends the connection after this response.
   bool close = false;
 };
+
+/// Serializes `response` into on-the-wire bytes (Content-Length framing).
+std::string FormatHttpResponse(const HttpResponse& response);
+
+/// Serializes only the status line + headers. With `chunked` the response
+/// uses Transfer-Encoding: chunked and the body must follow as
+/// AppendHttpChunk calls closed by AppendHttpLastChunk; otherwise a
+/// Content-Length of `content_length` is emitted and the caller sends
+/// exactly that many body bytes.
+std::string FormatHttpResponseHead(const HttpResponse& response, bool chunked,
+                                   size_t content_length);
+
+/// Appends one chunked-transfer chunk (no-op for empty `data`: an empty
+/// chunk would terminate the stream).
+void AppendHttpChunk(std::string_view data, std::string* out);
+/// Appends the stream-terminating zero chunk.
+void AppendHttpLastChunk(std::string* out);
 
 /// Serializes and sends `response` (Content-Length framing, HTTP/1.1).
 Status WriteHttpResponse(int fd, const HttpResponse& response);

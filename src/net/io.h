@@ -79,6 +79,53 @@ Status WriteAll(int fd, std::string_view data);
 /// readable (or the peer hung up), 0 on timeout.
 Result<int> PollReadable(int fd, int timeout_ms);
 
+// ------------------------------------------------------- non-blocking io
+//
+// The epoll connection layer never blocks in a syscall on behalf of one
+// peer. These primitives mirror ReadSome/WriteAll/AcceptConnection —
+// same typed Status map, same BAGALG_FAULT=io: injection points — but
+// report EAGAIN through `*would_block` instead of waiting, so the event
+// loop can park the connection until the readiness notification.
+
+/// Switches `fd` to O_NONBLOCK.
+Status SetNonBlocking(int fd);
+
+/// Reads up to `len` bytes without blocking. Returns 0 with
+/// *would_block=true when the socket has no bytes ready; returns 0 with
+/// *would_block=false at orderly EOF. Injected faults behave as in
+/// ReadSome (short transfer = 1 byte, error = kUnavailable).
+Result<size_t> ReadNonBlocking(int fd, char* buf, size_t len,
+                               bool* would_block);
+
+/// Writes a prefix of `data` without blocking; returns the byte count
+/// actually queued (0 with *would_block=true when the send buffer is
+/// full). Injected faults behave as in WriteAll.
+Result<size_t> WriteNonBlocking(int fd, std::string_view data,
+                                bool* would_block);
+
+/// Accepts one connection without blocking; the returned socket is already
+/// O_NONBLOCK. *would_block=true when the backlog is empty. Transient
+/// accept failures (and injected ones) are kUnavailable exactly as in
+/// AcceptConnection; a listener shut down for drain is kCancelled.
+Result<Fd> AcceptNonBlocking(int listen_fd, bool* would_block);
+
+/// An eventfd for cross-thread wakeups of an epoll loop: executor threads
+/// Signal() it after publishing a completion; a signal-handler may too
+/// (write(2) is async-signal-safe). The loop drains it with Drain().
+class WakeupFd {
+ public:
+  static Result<WakeupFd> Create();
+  int fd() const { return fd_.get(); }
+  /// Makes the fd readable; async-signal-safe; never blocks (the eventfd
+  /// counter saturates long before EAGAIN matters for a wakeup).
+  void Signal() const;
+  /// Consumes all pending signals.
+  void Drain() const;
+
+ private:
+  Fd fd_;
+};
+
 }  // namespace bagalg::net
 
 #endif  // BAGALG_NET_IO_H_

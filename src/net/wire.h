@@ -2,9 +2,10 @@
 #define BAGALG_NET_WIRE_H_
 
 /// \file wire.h
-/// Wire serialization for complex-object values.
+/// Wire serialization for complex-object values: the JSON shape, the BAG1
+/// binary shape, framing, and the statement envelopes built from them.
 ///
-/// The on-the-wire shape is JSON today, chosen over the REPL's printable
+/// The JSON shape (format tag kJson), chosen over the REPL's printable
 /// syntax because a client should never have to re-parse `'{{a: 3}}`:
 ///
 ///   atom   {"atom": "a"}
@@ -17,21 +18,41 @@
 /// order (sorted, distinct, positive), so a client can compare payloads
 /// byte-wise.
 ///
-/// A thin framing layer wraps payloads for the (future) binary format:
-/// an 8-byte header — magic "BAG1", version, format tag, reserved pad —
-/// then a u32 little-endian payload length. bagalgd speaks HTTP (which has
-/// its own framing), so frames are exercised today by tests and the bench
-/// harness; the point of landing the header now is that a binary format
-/// later is a new tag, not a protocol break.
+/// The binary shape (format tag kBinary) skips JSON entirely. All integers
+/// are little-endian; strings are u32 length + raw bytes:
+///
+///   value := 0x01 str(atom-name)
+///          | 0x02 u32(arity) value*
+///          | 0x03 str(element-type rendering) u64(entry-count)
+///                 (value mult)*
+///   mult  := 0x00 u64             -- fits uint64 (the common case)
+///          | 0x01 str(decimal)    -- BigNat past 2^64, exact
+///
+/// The element-type string is Type::ToString output and is re-parsed with
+/// lang::ParseType on decode, so untyped empty bags ("_") round-trip.
+/// Decoding is defensive: depth-capped, every length checked against the
+/// remaining bytes before it sizes an allocation, and bags are rebuilt
+/// through Bag::Builder so a hostile peer cannot smuggle a non-canonical
+/// bag into the engine.
+///
+/// A framing layer wraps payloads: a 12-byte header — magic "BAG1",
+/// version, format tag, reserved pad, u32 little-endian payload length.
+/// bagalgd uses frames as the body encoding of the binary statement
+/// protocol (Content-Type: application/x-bag1): the request body is one
+/// frame holding an encoded WireStatementRequest, the response body one
+/// frame holding an encoded WireStatementResponse.
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/core/value.h"
 #include "src/util/result.h"
 
 namespace bagalg::net {
+
+class JsonValue;
 
 /// Serializes a value into the wire JSON described above. `table` resolves
 /// atom names (defaults to the global table).
@@ -41,11 +62,36 @@ std::string ValueToWireJson(const Value& value,
 /// Serializes a bag (the common top-level case) into its wire JSON object.
 std::string BagToWireJson(const Bag& bag, const AtomTable* table = nullptr);
 
+/// Decodes a parsed wire-JSON document back into a Value. Atom names are
+/// interned into `table` (the global table if null). Exact inverse of
+/// ValueToWireJson: multiplicity strings round-trip through BigNat, so
+/// counts past 2^64 survive; unknown shapes are kParseError.
+Result<Value> WireJsonToValue(const JsonValue& json,
+                              AtomTable* table = nullptr);
+/// Convenience overload: parses `json_text` first.
+Result<Value> WireJsonToValue(std::string_view json_text,
+                              AtomTable* table = nullptr);
+
+/// Serializes a value into the BAG1 binary shape described above.
+std::string ValueToWireBinary(const Value& value,
+                              const AtomTable* table = nullptr);
+
+/// Decodes a binary-shape value. The whole of `bytes` must be consumed.
+/// Defensive against hostile input: kParseError on truncation, trailing
+/// bytes, unknown tags, nesting past kMaxWireDepth, or a type string
+/// lang::ParseType rejects.
+Result<Value> WireBinaryToValue(std::string_view bytes,
+                                AtomTable* table = nullptr);
+
+/// Nesting bound for binary decode, mirroring kMaxJsonDepth: recursion
+/// depth must never be attacker-controlled.
+inline constexpr int kMaxWireDepth = 32;
+
 // ------------------------------------------------------------- framing
 
 enum class WireFormat : uint8_t {
   kJson = 1,
-  // kBinary = 2 reserved: columnar counted-bag encoding.
+  kBinary = 2,
 };
 
 inline constexpr char kFrameMagic[4] = {'B', 'A', 'G', '1'};
@@ -70,6 +116,91 @@ struct DecodedFrame {
 ///   - Anything else (bad magic/version/format, oversized length):
 ///     kParseError; the connection is unrecoverable.
 Result<DecodedFrame> DecodeFrame(std::string_view bytes, size_t* consumed);
+
+// ------------------------------------------- binary statement envelopes
+
+/// The binary form of the POST /v1/statement request body (the JSON path's
+/// {"session","statement","timeout_ms","memlimit_bytes"} object). Zero
+/// timeout/memlimit means "server default", exactly like omitting the JSON
+/// field.
+struct WireStatementRequest {
+  std::string session;
+  std::string statement;
+  uint64_t timeout_ms = 0;
+  uint64_t memlimit_bytes = 0;
+};
+
+std::string EncodeStatementRequest(const WireStatementRequest& request);
+Result<WireStatementRequest> DecodeStatementRequest(std::string_view bytes);
+
+/// The binary form of the statement response envelope. `result` is
+/// meaningful only when has_result; `error_*` only when !ok. `flight` is
+/// the flight-recorder dump verbatim (JSON text — diagnostics stay
+/// greppable even on the binary path).
+struct WireStatementResponse {
+  bool ok = false;
+  std::string outcome;
+  std::string output;
+  uint64_t wall_us = 0;
+  bool has_result = false;
+  Value result;
+  std::string error_code;
+  std::string error_message;
+  bool retryable = false;
+  std::string flight;
+};
+
+std::string EncodeStatementResponse(const WireStatementResponse& response,
+                                    const AtomTable* table = nullptr);
+Result<WireStatementResponse> DecodeStatementResponse(
+    std::string_view bytes, AtomTable* table = nullptr);
+
+// -------------------------------------------------- streaming JSON bodies
+
+/// Resumable wire-JSON serializer for chunked statement responses.
+///
+/// A powerset result can serialize to tens of megabytes; materializing that
+/// next to a slow client would let one reader hold the peak. The streamer
+/// instead holds the Value (an O(1) shared-tree copy) plus an explicit
+/// cursor stack, and emits the envelope prefix, the value's wire JSON, and
+/// the suffix in caller-bounded slices — the event loop pulls exactly as
+/// much as its write buffer's low-water mark allows and lets EPOLLOUT
+/// backpressure pace the rest.
+class WireJsonStreamer {
+ public:
+  /// Streams `prefix` + ValueToWireJson(value) + `suffix`.
+  WireJsonStreamer(std::string prefix, Value value, std::string suffix,
+                   const AtomTable* table = nullptr);
+
+  /// Appends at least one serialization step and at most ~`budget` bytes
+  /// (may overshoot by one token: tokens are never split). Returns true
+  /// while more output remains, false once the suffix has been emitted.
+  bool Produce(size_t budget, std::string* out);
+
+  bool done() const { return stage_ == Stage::kDone; }
+
+ private:
+  enum class Stage : uint8_t { kPrefix, kValue, kSuffix, kDone };
+  struct Frame {
+    enum class Kind : uint8_t { kTuple, kBag, kBagEntry } kind;
+    const Value* container = nullptr;   // kTuple
+    const Bag* bag = nullptr;           // kBag
+    const BagEntry* entry = nullptr;    // kBagEntry
+    size_t index = 0;
+  };
+
+  /// Emits one token; returns false when everything has been emitted.
+  bool Step(std::string* out);
+  void OpenValue(const Value& value, std::string* out);
+
+  std::string prefix_;
+  Value root_;  // owns the shared tree; Frame pointers alias into it
+  std::string suffix_;
+  const AtomTable* table_;
+  Stage stage_ = Stage::kPrefix;
+  const Value* pending_ = nullptr;
+  std::vector<Frame> stack_;
+};
 
 }  // namespace bagalg::net
 

@@ -19,6 +19,7 @@
 #include "src/net/json_reader.h"
 #include "src/net/server.h"
 #include "src/net/wire.h"
+#include "src/util/fault.h"
 #include "src/util/status.h"
 
 namespace bagalg::net {
@@ -543,6 +544,690 @@ TEST(ServerTest, ConcurrentSessionsSurviveMixedLoad) {
   (*server)->Wait();
   const ServerStats stats = (*server)->stats();
   EXPECT_EQ(stats.requests, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+// ------------------------------------------------- HttpReader increments
+
+TEST(HttpReaderTest, TwoRequestsInOneFeedBothParse) {
+  // The pipelined-second-request regression: bytes after a parsed body
+  // must stay buffered for the next Next(), byte-exact.
+  HttpReader reader;
+  reader.Feed(
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\none"
+      "POST /b HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  HttpRequest first;
+  auto got = reader.Next(&first);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(first.path, "/a");
+  EXPECT_EQ(first.body, "one");
+  EXPECT_GT(reader.buffered_bytes(), 0u);
+  HttpRequest second;
+  got = reader.Next(&second);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(second.path, "/b");
+  EXPECT_EQ(second.body, "hello");
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(HttpReaderTest, ArbitrarySplitBoundariesParseIdentically) {
+  // recv never promises request-aligned chunks: feeding the same stream
+  // one byte at a time must yield the same two requests. This also walks
+  // the head terminator across every possible Feed split.
+  const std::string stream =
+      "POST /v1/statement HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /healthz HTTP/1.1\r\n\r\n";
+  for (size_t step = 1; step <= 7; ++step) {
+    HttpReader reader;
+    std::vector<HttpRequest> requests;
+    for (size_t off = 0; off < stream.size(); off += step) {
+      reader.Feed(stream.substr(off, step));
+      while (true) {
+        HttpRequest request;
+        auto got = reader.Next(&request);
+        ASSERT_TRUE(got.ok()) << got.status() << " step=" << step;
+        if (!*got) break;
+        requests.push_back(std::move(request));
+      }
+    }
+    ASSERT_EQ(requests.size(), 2u) << "step=" << step;
+    EXPECT_EQ(requests[0].path, "/v1/statement");
+    EXPECT_EQ(requests[0].body, "hi");
+    EXPECT_EQ(requests[1].path, "/healthz");
+    EXPECT_EQ(requests[1].method, "GET");
+  }
+}
+
+TEST(HttpReaderTest, PipelinedBytesDoNotCountAgainstNextHeaderCap) {
+  // A parsed request's leftovers must never be billed to the *following*
+  // request's header cap until they are that request's header bytes.
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  HttpReader reader(limits);
+  const std::string big_body(48, 'x');
+  reader.Feed("POST /a HTTP/1.1\r\nContent-Length: " +
+              std::to_string(big_body.size()) + "\r\n\r\n" + big_body +
+              "GET /b HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  auto got = reader.Next(&request);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(*got);
+  got = reader.Next(&request);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(*got);
+  EXPECT_EQ(request.path, "/b");
+}
+
+TEST(HttpReaderTest, KeepAliveSemantics) {
+  HttpReader reader;
+  reader.Feed("GET /a HTTP/1.1\r\n\r\n");
+  HttpRequest http11;
+  ASSERT_TRUE(*reader.Next(&http11));
+  EXPECT_FALSE(RequestWantsClose(http11));
+
+  reader.Feed("GET /b HTTP/1.1\r\nConnection: close\r\n\r\n");
+  HttpRequest explicit_close;
+  ASSERT_TRUE(*reader.Next(&explicit_close));
+  EXPECT_TRUE(RequestWantsClose(explicit_close));
+
+  reader.Feed("GET /c HTTP/1.0\r\n\r\n");
+  HttpRequest http10;
+  ASSERT_TRUE(*reader.Next(&http10));
+  EXPECT_FALSE(http10.http11);
+  EXPECT_TRUE(RequestWantsClose(http10));
+}
+
+TEST(HttpTest, ChunkedResponseFormatting) {
+  HttpResponse resp;
+  resp.status = 200;
+  std::string wire = FormatHttpResponseHead(resp, /*chunked=*/true, 0);
+  EXPECT_NE(wire.find("Transfer-Encoding: chunked"), std::string::npos);
+  EXPECT_EQ(wire.find("Content-Length"), std::string::npos);
+  AppendHttpChunk("hello ", &wire);
+  AppendHttpChunk("", &wire);  // must not emit a stream terminator
+  AppendHttpChunk("world", &wire);
+  AppendHttpLastChunk(&wire);
+  const size_t head_end = wire.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  EXPECT_EQ(wire.substr(head_end + 4),
+            "6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n");
+}
+
+// ------------------------------------------------------- wire: binary
+
+Value MakeFixtureBag() {
+  AtomTable& table = GlobalAtomTable();
+  const AtomId a = table.Intern("bin_a");
+  const AtomId b = table.Intern("bin_b");
+  // {{[bin_a, {{bin_b: 2^100}}]: 3, [bin_b, {{}}]: 1}} — nesting, tuples,
+  // an inner bag, and a multiplicity past 2^64 in one fixture.
+  Bag::Builder inner_builder(Type::Atom());
+  inner_builder.Add(Value::Atom(b), BigNat::TwoPow(100));
+  const Value inner = Value::FromBag(*std::move(inner_builder).Build());
+  Bag::Builder empty_builder(Type::Atom());
+  const Value empty = Value::FromBag(*std::move(empty_builder).Build());
+  Bag::Builder outer(Type::Tuple({Type::Atom(), Type::Bag(Type::Atom())}));
+  outer.Add(Value::Tuple({Value::Atom(a), inner}), 3);
+  outer.Add(Value::Tuple({Value::Atom(b), empty}), 1);
+  return Value::FromBag(*std::move(outer).Build());
+}
+
+TEST(WireBinaryTest, RoundTripsToBitIdenticalWireJson) {
+  const Value original = MakeFixtureBag();
+  const std::string binary = ValueToWireBinary(original);
+  auto decoded = WireBinaryToValue(binary);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  // Parity oracle: both paths must render the identical canonical wire
+  // JSON — same entries, same order, same exact multiplicity digits.
+  EXPECT_EQ(ValueToWireJson(*decoded), ValueToWireJson(original));
+  // And the JSON path itself round-trips to the same value.
+  auto via_json = WireJsonToValue(ValueToWireJson(original));
+  ASSERT_TRUE(via_json.ok()) << via_json.status();
+  EXPECT_EQ(ValueToWireBinary(*via_json), binary);
+}
+
+TEST(WireBinaryTest, HugeMultiplicitySurvivesExactly) {
+  const Value fixture = MakeFixtureBag();
+  auto decoded = WireBinaryToValue(ValueToWireBinary(fixture));
+  ASSERT_TRUE(decoded.ok());
+  const std::string json = ValueToWireJson(*decoded);
+  EXPECT_NE(json.find("\"1267650600228229401496703205376\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(WireBinaryTest, UntypedEmptyBagRoundTrips) {
+  Bag::Builder builder;  // no element type: Bottom, rendered "_"
+  const Value empty = Value::FromBag(*std::move(builder).Build());
+  auto decoded = WireBinaryToValue(ValueToWireBinary(empty));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_TRUE(decoded->IsBag());
+  EXPECT_TRUE(decoded->bag().entries().empty());
+  EXPECT_EQ(ValueToWireJson(*decoded), ValueToWireJson(empty));
+}
+
+TEST(WireBinaryTest, DecodeIsDefensive) {
+  const std::string binary = ValueToWireBinary(MakeFixtureBag());
+  // Every proper prefix must fail cleanly — never crash, never accept.
+  for (size_t len = 0; len < binary.size(); ++len) {
+    auto truncated = WireBinaryToValue(binary.substr(0, len));
+    EXPECT_FALSE(truncated.ok()) << "accepted prefix of " << len;
+  }
+  // Trailing garbage is rejected: the whole input must be consumed.
+  EXPECT_FALSE(WireBinaryToValue(binary + "x").ok());
+  // Unknown tag.
+  EXPECT_FALSE(WireBinaryToValue(std::string("\x7f", 1)).ok());
+  // A nesting bomb past kMaxWireDepth: tuples of arity 1 all the way down.
+  std::string bomb;
+  for (int i = 0; i < kMaxWireDepth + 4; ++i) {
+    bomb += '\x02';
+    bomb += std::string("\x01\x00\x00\x00", 4);  // arity 1, LE
+  }
+  bomb += '\x01';
+  bomb += std::string("\x00\x00\x00\x00", 4);  // atom with empty name
+  auto deep = WireBinaryToValue(bomb);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.status().code(), StatusCode::kParseError);
+}
+
+TEST(WireBinaryTest, StatementEnvelopesRoundTrip) {
+  WireStatementRequest request;
+  request.session = "env";
+  request.statement = "eval uplus(X, X)";
+  request.timeout_ms = 250;
+  request.memlimit_bytes = 1 << 20;
+  auto request_back = DecodeStatementRequest(EncodeStatementRequest(request));
+  ASSERT_TRUE(request_back.ok()) << request_back.status();
+  EXPECT_EQ(request_back->session, "env");
+  EXPECT_EQ(request_back->statement, "eval uplus(X, X)");
+  EXPECT_EQ(request_back->timeout_ms, 250u);
+  EXPECT_EQ(request_back->memlimit_bytes, 1u << 20);
+
+  WireStatementResponse response;
+  response.ok = true;
+  response.outcome = "ok";
+  response.output = "{{bin_a: 3}}";
+  response.wall_us = 1234;
+  response.has_result = true;
+  response.result = MakeFixtureBag();
+  auto response_back =
+      DecodeStatementResponse(EncodeStatementResponse(response));
+  ASSERT_TRUE(response_back.ok()) << response_back.status();
+  EXPECT_TRUE(response_back->ok);
+  EXPECT_EQ(response_back->outcome, "ok");
+  EXPECT_EQ(response_back->wall_us, 1234u);
+  ASSERT_TRUE(response_back->has_result);
+  EXPECT_EQ(ValueToWireJson(response_back->result),
+            ValueToWireJson(response.result));
+
+  WireStatementResponse error;
+  error.ok = false;
+  error.outcome = "deadline";
+  error.error_code = "DeadlineExceeded";
+  error.error_message = "governor: wall deadline";
+  error.retryable = true;
+  error.flight = "{\"spans\":[]}";
+  auto error_back = DecodeStatementResponse(EncodeStatementResponse(error));
+  ASSERT_TRUE(error_back.ok()) << error_back.status();
+  EXPECT_FALSE(error_back->ok);
+  EXPECT_EQ(error_back->error_code, "DeadlineExceeded");
+  EXPECT_TRUE(error_back->retryable);
+  EXPECT_EQ(error_back->flight, "{\"spans\":[]}");
+}
+
+TEST(WireBinaryTest, BinaryFramesRoundTrip) {
+  const std::string payload = ValueToWireBinary(MakeFixtureBag());
+  const std::string frame = EncodeFrame(WireFormat::kBinary, payload);
+  size_t consumed = 0;
+  auto decoded = DecodeFrame(frame, &consumed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->format, WireFormat::kBinary);
+  EXPECT_EQ(decoded->payload, payload);
+  // A frame cut mid-payload is retryable (read more), not poison.
+  auto short_frame = DecodeFrame(frame.substr(0, frame.size() - 1), &consumed);
+  ASSERT_FALSE(short_frame.ok());
+  EXPECT_EQ(short_frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(WireStreamerTest, ProducesExactlyTheMaterializedJson) {
+  const Value fixture = MakeFixtureBag();
+  const std::string expected =
+      "{\"result\":" + ValueToWireJson(fixture) + ",\"ok\":true}";
+  // Any budget must yield identical bytes — only the slicing differs.
+  for (const size_t budget : {size_t{1}, size_t{7}, size_t{64}, size_t{1 << 20}}) {
+    WireJsonStreamer streamer("{\"result\":", fixture, ",\"ok\":true}");
+    std::string produced;
+    size_t slices = 0;
+    while (streamer.Produce(budget, &produced)) {
+      ASSERT_LT(++slices, size_t{100000});
+    }
+    EXPECT_TRUE(streamer.done());
+    EXPECT_EQ(produced, expected) << "budget=" << budget;
+  }
+}
+
+// --------------------------------------------- server: event-loop paths
+
+// A persistent-connection client: sends requests on one socket and parses
+// Content-Length and chunked responses incrementally, like a real
+// keep-alive peer.
+class KeepAliveClient {
+ public:
+  explicit KeepAliveClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (fd_ >= 0 && ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                              sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~KeepAliveClient() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  void HalfClose() { ::shutdown(fd_, SHUT_WR); }
+
+  static std::string Request(const std::string& method,
+                             const std::string& path, const std::string& body,
+                             const std::string& content_type =
+                                 "application/json") {
+    return method + " " + path + " HTTP/1.1\r\nHost: t\r\nContent-Type: " +
+           content_type + "\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\n\r\n" + body;
+  }
+
+  bool Send(const std::string& bytes) { return WriteAll(fd_, bytes).ok(); }
+
+  // Reads one full response (dechunking if needed). False on EOF or error.
+  bool ReadResponse(ClientResponse* out) {
+    size_t head_end;
+    while ((head_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+      if (!ReadMore()) return false;
+    }
+    const std::string head = buf_.substr(0, head_end + 4);
+    out->status = std::atoi(head.c_str() + 9);
+    std::string lower = head;
+    for (char& ch : lower) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    const size_t body_start = head_end + 4;
+    if (lower.find("transfer-encoding: chunked") != std::string::npos) {
+      std::string body;
+      size_t pos = body_start;
+      while (true) {
+        size_t line_end;
+        while ((line_end = buf_.find("\r\n", pos)) == std::string::npos) {
+          if (!ReadMore()) return false;
+        }
+        const size_t len = std::strtoul(buf_.c_str() + pos, nullptr, 16);
+        pos = line_end + 2;
+        while (buf_.size() < pos + len + 2) {
+          if (!ReadMore()) return false;
+        }
+        if (len == 0) break;
+        body.append(buf_, pos, len);
+        pos += len + 2;
+      }
+      out->body = std::move(body);
+      out->raw = buf_.substr(0, pos + 2);
+      buf_.erase(0, pos + 2);
+      return true;
+    }
+    size_t len = 0;
+    const size_t cl = lower.find("content-length:");
+    if (cl != std::string::npos) {
+      len = std::strtoul(lower.c_str() + cl + 15, nullptr, 10);
+    }
+    while (buf_.size() < body_start + len) {
+      if (!ReadMore()) return false;
+    }
+    out->body = buf_.substr(body_start, len);
+    out->raw = buf_.substr(0, body_start + len);
+    buf_.erase(0, body_start + len);
+    return true;
+  }
+
+ private:
+  bool ReadMore() {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+TEST(ServerTest, KeepAliveServesManyRequestsOnOneConnection) {
+  ServerOptions options;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  KeepAliveClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Send(KeepAliveClient::Request(
+      "POST", "/v1/statement",
+      R"js({"session":"ka","statement":"let X = {{a, a, b}}"})js")));
+  ClientResponse r;
+  ASSERT_TRUE(client.ReadResponse(&r));
+  EXPECT_EQ(r.status, 200) << r.raw;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.Send(KeepAliveClient::Request(
+        "POST", "/v1/statement",
+        R"js({"session":"ka","statement":"count X"})js")));
+    ASSERT_TRUE(client.ReadResponse(&r)) << "request " << i;
+    EXPECT_EQ(r.status, 200) << r.raw;
+    EXPECT_NE(r.body.find("\"outcome\":\"ok\""), std::string::npos);
+  }
+  client.Close();
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+  const ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.keepalive_reuses, 4u);
+}
+
+TEST(ServerTest, PipelinedRequestsAnswerInOrder) {
+  ServerOptions options;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  KeepAliveClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+
+  // Three requests in one write: the server must answer all three, in
+  // order, on the one connection — statement, statement, inline GET.
+  std::string burst;
+  burst += KeepAliveClient::Request(
+      "POST", "/v1/statement",
+      R"js({"session":"pipe","statement":"let X = {{a, a, b}}"})js");
+  burst += KeepAliveClient::Request(
+      "POST", "/v1/statement",
+      R"js({"session":"pipe","statement":"eval uplus(X, X)"})js");
+  burst += KeepAliveClient::Request("GET", "/healthz", "");
+  ASSERT_TRUE(client.Send(burst));
+
+  ClientResponse first, second, third;
+  ASSERT_TRUE(client.ReadResponse(&first));
+  ASSERT_TRUE(client.ReadResponse(&second));
+  ASSERT_TRUE(client.ReadResponse(&third));
+  EXPECT_EQ(first.status, 200) << first.raw;
+  EXPECT_NE(first.body.find("\"session\":\"pipe\""), std::string::npos);
+  EXPECT_EQ(second.status, 200) << second.raw;
+  EXPECT_NE(second.body.find("\"n\":\"4\""), std::string::npos);
+  EXPECT_EQ(third.status, 200) << third.raw;
+  EXPECT_NE(third.body.find("\"status\":\"serving\""), std::string::npos);
+  client.Close();
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+  const ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_GE(stats.pipelined, 1u);
+}
+
+TEST(ServerTest, HalfClosedClientStillGetsItsResponse) {
+  ServerOptions options;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  KeepAliveClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+
+  // shutdown(SHUT_WR) right after the request: the server sees EOF while
+  // the statement executes, and must still deliver the response.
+  ASSERT_TRUE(client.Send(KeepAliveClient::Request(
+      "POST", "/v1/statement",
+      R"js({"session":"half","statement":"count '{{a, b}}"})js")));
+  client.HalfClose();
+  ClientResponse r;
+  ASSERT_TRUE(client.ReadResponse(&r));
+  EXPECT_EQ(r.status, 200) << r.raw;
+  EXPECT_NE(r.body.find("\"outcome\":\"ok\""), std::string::npos);
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+  EXPECT_EQ((*server)->stats().io_errors, 0u);
+}
+
+TEST(ServerTest, Bag1BinaryStatementsSkipJsonBothWays) {
+  ServerOptions options;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  KeepAliveClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+
+  auto post_bag1 = [&](const std::string& statement,
+                       WireStatementResponse* out) {
+    WireStatementRequest request;
+    request.session = "bin";
+    request.statement = statement;
+    const std::string body =
+        EncodeFrame(WireFormat::kBinary, EncodeStatementRequest(request));
+    ASSERT_TRUE(client.Send(KeepAliveClient::Request(
+        "POST", "/v1/statement", body, "application/x-bag1")));
+    ClientResponse r;
+    ASSERT_TRUE(client.ReadResponse(&r));
+    EXPECT_EQ(r.status, 200) << r.raw;
+    EXPECT_NE(r.raw.find("application/x-bag1"), std::string::npos);
+    size_t consumed = 0;
+    auto frame = DecodeFrame(r.body, &consumed);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    EXPECT_EQ(frame->format, WireFormat::kBinary);
+    EXPECT_EQ(consumed, r.body.size());
+    auto decoded = DecodeStatementResponse(frame->payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    *out = std::move(*decoded);
+  };
+
+  WireStatementResponse let;
+  // 2^64 as a literal multiplicity: the binary path must carry the exact
+  // BigNat through uplus, where JSON doubles would have rounded.
+  post_bag1("let X = {{a*18446744073709551616}}", &let);
+  EXPECT_TRUE(let.ok);
+  EXPECT_EQ(let.outcome, "ok");
+
+  WireStatementResponse eval;
+  post_bag1("eval uplus(X, X)", &eval);
+  EXPECT_TRUE(eval.ok);
+  ASSERT_TRUE(eval.has_result);
+  ASSERT_TRUE(eval.result.IsBag());
+  ASSERT_EQ(eval.result.bag().entries().size(), 1u);
+  EXPECT_EQ(eval.result.bag().entries()[0].count.ToString(),
+            "36893488147419103232");  // 2^65, exact
+
+  // A truncated frame is a typed 400, and the connection survives it.
+  WireStatementRequest request;
+  request.session = "bin";
+  request.statement = "count X";
+  const std::string full =
+      EncodeFrame(WireFormat::kBinary, EncodeStatementRequest(request));
+  const std::string cut = full.substr(0, full.size() - 2);
+  ASSERT_TRUE(client.Send(KeepAliveClient::Request(
+      "POST", "/v1/statement", cut, "application/x-bag1")));
+  ClientResponse bad;
+  ASSERT_TRUE(client.ReadResponse(&bad));
+  EXPECT_EQ(bad.status, 400) << bad.raw;
+  size_t consumed = 0;
+  auto bad_frame = DecodeFrame(bad.body, &consumed);
+  ASSERT_TRUE(bad_frame.ok()) << bad_frame.status();
+  auto bad_resp = DecodeStatementResponse(bad_frame->payload);
+  ASSERT_TRUE(bad_resp.ok()) << bad_resp.status();
+  EXPECT_FALSE(bad_resp->ok);
+
+  WireStatementResponse after;
+  post_bag1("count X", &after);
+  EXPECT_TRUE(after.ok);
+  client.Close();
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+  const ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.bag1_requests, 4u);
+  EXPECT_EQ(stats.ok, 3u);
+  EXPECT_EQ(stats.errors, 1u);
+}
+
+TEST(ServerTest, LargeResultsStreamChunked) {
+  ServerOptions options;
+  options.stream_entries_threshold = 4;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  KeepAliveClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+
+  // pow({{a,b,c}}) has 8 distinct subbags — over the threshold of 4, so
+  // the response must arrive chunked and still be byte-perfect JSON.
+  ASSERT_TRUE(client.Send(KeepAliveClient::Request(
+      "POST", "/v1/statement",
+      R"js({"session":"big","statement":"eval pow('{{a, b, c}})"})js")));
+  ClientResponse r;
+  ASSERT_TRUE(client.ReadResponse(&r));
+  EXPECT_EQ(r.status, 200) << r.raw;
+  EXPECT_NE(r.raw.find("Transfer-Encoding: chunked"), std::string::npos);
+  auto doc = ParseJson(r.body);
+  ASSERT_TRUE(doc.ok()) << doc.status() << "\n" << r.body;
+  const JsonValue* result = doc->Find("result");
+  ASSERT_NE(result, nullptr);
+  auto value = WireJsonToValue(*result);
+  ASSERT_TRUE(value.ok()) << value.status();
+  ASSERT_TRUE(value->IsBag());
+  EXPECT_EQ(value->bag().entries().size(), 8u);
+
+  // The connection re-arms after a chunked response: keep-alive holds.
+  ASSERT_TRUE(client.Send(KeepAliveClient::Request("GET", "/healthz", "")));
+  ClientResponse next;
+  ASSERT_TRUE(client.ReadResponse(&next));
+  EXPECT_EQ(next.status, 200);
+  client.Close();
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+  EXPECT_EQ((*server)->stats().streamed_responses, 1u);
+}
+
+TEST(ServerTest, EpollMetricsAreExposed) {
+  ServerOptions options;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  PostStatement(port, R"js({"session":"m","statement":"count '{{a}}"})js");
+  auto metrics = Fetch(port, "GET", "/metrics", "");
+  EXPECT_EQ(metrics.status, 200);
+  for (const char* name :
+       {"bagalg_server_epoll_fds", "bagalg_server_epoll_ready_depth",
+        "bagalg_server_epoll_loop_iter_us", "bagalg_server_conn_state_reading",
+        "bagalg_server_conn_state_executing",
+        "bagalg_server_conn_state_writing",
+        "bagalg_server_http_keepalive_reuses_total",
+        "bagalg_server_http_pipelined_total",
+        "bagalg_server_wire_bag1_requests_total"}) {
+    EXPECT_NE(metrics.body.find(name), std::string::npos) << name;
+  }
+  // The loop registers at least the listener + wakeup fd.
+  EXPECT_GE((*server)->stats().epoll_fds, 2u);
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+}
+
+TEST(ServerTest, SurvivesInjectedIoFaults) {
+  ServerOptions options;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  fault::FaultSpec spec;
+  spec.point = fault::FaultPoint::kIo;
+  spec.probability = 0.05;
+  spec.seed = 1234;
+  fault::Configure(spec);
+  int ok = 0, torn = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto r = PostStatement(
+        port, R"js({"session":"chaos","statement":"count '{{a, b}}"})js");
+    // Either the statement answered, or injected io tore the connection —
+    // nothing in between, and never a hang or crash.
+    if (r.status == 200) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status, 0) << r.raw;
+      ++torn;
+    }
+  }
+  fault::Disarm();
+
+  // The server is intact after the storm.
+  auto after = PostStatement(
+      port, R"js({"session":"chaos","statement":"count '{{a, b}}"})js");
+  EXPECT_EQ(after.status, 200) << after.raw;
+  EXPECT_GT(ok, 0);
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+}
+
+TEST(ServerTest, ConcurrentKeepAliveSessions) {
+  ServerOptions options;
+  options.executors = 4;
+  auto server = Server::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const uint16_t port = (*server)->port();
+
+  constexpr int kClients = 16;
+  constexpr int kPerClient = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0}, unexpected{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      KeepAliveClient client(port);
+      if (!client.connected()) {
+        unexpected.fetch_add(kPerClient);
+        return;
+      }
+      const std::string session = "kas" + std::to_string(t);
+      for (int i = 0; i < kPerClient; ++i) {
+        if (!client.Send(KeepAliveClient::Request(
+                "POST", "/v1/statement",
+                "{\"session\":\"" + session +
+                    "\",\"statement\":\"count pow('{{a,b,c}})\"}"))) {
+          unexpected.fetch_add(1);
+          continue;
+        }
+        ClientResponse r;
+        if (client.ReadResponse(&r) && r.status == 200) {
+          ok.fetch_add(1);
+        } else {
+          unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+
+  (*server)->RequestShutdown();
+  (*server)->Wait();
+  const ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.connections_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.keepalive_reuses,
+            static_cast<uint64_t>(kClients * (kPerClient - 1)));
 }
 
 }  // namespace

@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
 """Concurrent smoke test for bagalgd. Stdlib only.
 
-Starts the server, then drives it from N concurrent sessions issuing a
-mixed statement diet — well-formed queries, budget-refused queries,
-deadline-tripped queries, and malformed requests — and asserts the
-robustness contract:
+Starts the server, then drives it from N concurrent keep-alive sessions
+issuing a mixed statement diet — well-formed queries, budget-refused
+queries, deadline-tripped queries, and malformed requests — and asserts
+the robustness contract:
 
   * every request ends in a typed outcome (HTTP status + JSON error
     envelope), never a hang or an untyped connection drop*;
+  * each client holds one persistent connection and the server actually
+    reuses it (per-connection request counts are reported and checked);
+  * a BAG1 binary statement frame (built with struct.pack, no C++
+    involved) round-trips on the wire path;
   * the server process survives the whole run (no crash, no abort);
-  * /metrics stays a valid-looking Prometheus exposition;
+  * /metrics stays a valid Prometheus exposition (validate_obs.py) and
+    exposes the event-loop gauges (bagalg_server_epoll_*);
   * SIGTERM at the end drains cleanly with exit code 0.
 
 (*) When BAGALG_FAULT=io:... is armed, injected disconnects legally tear
@@ -26,8 +31,11 @@ import http.client
 import json
 import os
 import signal
+import socket
+import struct
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 
@@ -59,9 +67,11 @@ def statement_mix(session, i):
 
 
 class Client(threading.Thread):
-    """One session's worth of sequential requests, with bounded retries
-    for connection-level failures (expected under io fault injection) and
-    retryable server responses (429/503)."""
+    """One session's worth of sequential requests over a persistent
+    keep-alive connection, with bounded retries for connection-level
+    failures (expected under io fault injection) and retryable server
+    responses (429/503). Records how many requests each connection
+    served before it was closed or torn."""
 
     def __init__(self, port, session, requests, stats, lock):
         super().__init__()
@@ -71,17 +81,34 @@ class Client(threading.Thread):
         self.stats = stats
         self.lock = lock
         self.failures = []
+        self.conn = None
+        self.conn_requests = 0
+        self.conn_history = []  # requests served per finished connection
+
+    def drop_conn(self):
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+        if self.conn_requests:
+            self.conn_history.append(self.conn_requests)
+            self.conn_requests = 0
 
     def post(self, payload):
         body = json.dumps(payload)
-        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
-        try:
-            conn.request("POST", "/v1/statement", body,
-                         {"Content-Type": "application/json"})
-            resp = conn.getresponse()
-            return resp.status, resp.read()
-        finally:
-            conn.close()
+        if self.conn is None:
+            self.conn = http.client.HTTPConnection(
+                "127.0.0.1", self.port, timeout=60)
+        self.conn.request("POST", "/v1/statement", body,
+                          {"Content-Type": "application/json"})
+        resp = self.conn.getresponse()
+        data = resp.read()  # drain fully so the connection can be reused
+        self.conn_requests += 1
+        if resp.will_close:
+            self.drop_conn()
+        return resp.status, data
 
     def run(self):
         for i in range(self.requests):
@@ -90,8 +117,10 @@ class Client(threading.Thread):
             for _attempt in range(25):
                 try:
                     status, _body = self.post(payload)
-                except OSError:
-                    # Torn connection (injected disconnect): retry.
+                except (OSError, http.client.HTTPException):
+                    # Torn connection (injected disconnect): retry on a
+                    # fresh one.
+                    self.drop_conn()
                     with self.lock:
                         self.stats["torn"] += 1
                     time.sleep(0.01)
@@ -111,6 +140,65 @@ class Client(threading.Thread):
                     f"{self.session}#{i}: HTTP {outcome}, wanted {want}")
             with self.lock:
                 self.stats[outcome] = self.stats.get(outcome, 0) + 1
+        self.drop_conn()
+
+
+def bag1_probe(port, failures, fault_armed):
+    """Round-trips one BAG1 binary statement built with struct.pack —
+    frame: 'BAG1' magic, version 1, format 2 (binary), two reserved
+    bytes, u32-LE payload length; payload: len-prefixed session and
+    statement strings plus u64-LE timeout/memlimit."""
+
+    def lp(b):
+        return struct.pack("<I", len(b)) + b
+
+    payload = (lp(b"smokebag1") + lp(b"count '{{a, b}}") +
+               struct.pack("<QQ", 0, 0))
+    frame = (b"BAG1" + bytes([1, 2, 0, 0]) +
+             struct.pack("<I", len(payload)) + payload)
+    request = (b"POST /v1/statement HTTP/1.1\r\nHost: smoke\r\n"
+               b"Content-Type: application/x-bag1\r\n"
+               b"Content-Length: " + str(len(frame)).encode() +
+               b"\r\n\r\n" + frame)
+    for _attempt in range(10):
+        try:
+            with socket.create_connection(("127.0.0.1", port),
+                                          timeout=30) as sock:
+                sock.sendall(request)
+                buf = b""
+                while b"\r\n\r\n" not in buf:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        raise OSError("eof before response head")
+                    buf += chunk
+                head, _, body = buf.partition(b"\r\n\r\n")
+                length = next(int(line.split(b":")[1])
+                              for line in head.split(b"\r\n")
+                              if line.lower().startswith(b"content-length"))
+                while len(body) < length:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        raise OSError("eof before response body")
+                    body += chunk
+                body = body[:length]
+        except OSError:
+            time.sleep(0.02)  # injected tear; retry
+            continue
+        if b" 200 " not in head.split(b"\r\n", 1)[0]:
+            failures.append(f"bag1: HTTP {head.split()[1:2]}, wanted 200")
+            return
+        if body[:4] != b"BAG1" or body[4] != 1 or body[5] != 2:
+            failures.append(f"bag1: bad response frame head {body[:6]!r}")
+            return
+        payload = body[12:12 + struct.unpack_from("<I", body, 8)[0]]
+        ok = payload[0]
+        outcome_len = struct.unpack_from("<I", payload, 1)[0]
+        outcome = payload[5:5 + outcome_len]
+        if ok != 1 or outcome != b"ok":
+            failures.append(f"bag1: ok={ok} outcome={outcome!r}")
+        return
+    if not fault_armed:
+        failures.append("bag1: no typed outcome after 10 attempts")
 
 
 def fetch(port, path, tries=25):
@@ -142,7 +230,8 @@ def main():
 
     proc = subprocess.Popen(
         [args.binary, "--port=0", "--budget=100000", "--executors=8",
-         "--queue=128"],
+         f"--queue={max(128, args.sessions)}",
+         f"--max-sessions={max(128, 2 * args.sessions)}"],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
         start_new_session=True)
     try:
@@ -171,13 +260,38 @@ def main():
                   f"{proc.stderr.read()}", file=sys.stderr)
             return 1
 
+        bag1_probe(port, failures, fault_armed=bool(fault))
+
         status, metrics = fetch(port, "/metrics")
         if status != 200 or "bagalg_server_requests_total" not in metrics:
             failures.append(f"/metrics unhealthy: HTTP {status}")
         for needed in ("# TYPE bagalg_server_requests_total counter",
-                       "bagalg_server_io_errors_total"):
+                       "bagalg_server_io_errors_total",
+                       "bagalg_server_epoll_fds",
+                       "bagalg_server_epoll_ready_depth",
+                       "bagalg_server_epoll_loop_iter_us_bucket",
+                       "bagalg_server_conn_state_reading",
+                       "bagalg_server_http_keepalive_reuses_total",
+                       "bagalg_server_wire_bag1_requests_total"):
             if needed not in metrics:
                 failures.append(f"/metrics missing {needed!r}")
+        # The exposition must parse as real Prometheus text, not just
+        # contain the right substrings.
+        validator = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                 "validate_obs.py")
+        with tempfile.NamedTemporaryFile("w", suffix=".prom",
+                                         delete=False) as prom:
+            prom.write(metrics)
+            prom_path = prom.name
+        try:
+            check = subprocess.run(
+                [sys.executable, validator, "--prom", prom_path],
+                capture_output=True, text=True)
+            if check.returncode != 0:
+                failures.append(
+                    f"validate_obs --prom failed: {check.stderr.strip()}")
+        finally:
+            os.unlink(prom_path)
         status, health = fetch(port, "/healthz")
         if status != 200 or '"status":"serving"' not in health:
             failures.append(f"/healthz unhealthy: HTTP {status} {health!r}")
@@ -194,6 +308,17 @@ def main():
         drain_line = proc.stderr.read().strip().splitlines()
         print(f"smoke: {args.sessions * per_session} requests in "
               f"{wall:.1f}s; outcomes={stats}")
+        conns = [n for c in clients for n in c.conn_history]
+        if conns:
+            print(f"smoke: {len(conns)} connections served "
+                  f"{sum(conns)} requests "
+                  f"(per-connection mean={sum(conns) / len(conns):.1f} "
+                  f"max={max(conns)})")
+        if not fault and per_session > 1 and conns and \
+                max(conns) < per_session:
+            failures.append(
+                f"keep-alive not reused: best connection served only "
+                f"{max(conns)}/{per_session} requests")
         if drain_line:
             print(f"smoke: {drain_line[-1]}")
 
